@@ -1,0 +1,58 @@
+// Ablation: where does the allow-vs-deny factor of two come from?
+//
+// The paper explains the deny case's extra flood tolerance as "actually due
+// to the lack of any outgoing TCP responses": allowed flood packets reach
+// the host, which answers each with a RST that consumes the firewall CPU a
+// second time. This ablation separates the deny *path* from the response
+// *traffic* by comparing three floods at the same rule depth:
+//   (a) TCP data flood, allowed  -> one RST per packet (paper's allow case)
+//   (b) UDP flood, allowed       -> responses rate-limited to ~1/s by the
+//                                   host's ICMP limiter (allowed, silent)
+//   (c) TCP data flood, denied   -> no responses (paper's deny case)
+// If the explanation is right, (b) ~ (c) ~ 2 x (a): being allowed is not
+// what halves tolerance — eliciting responses is.
+#include "bench_common.h"
+
+int main() {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header("Ablation: Response Traffic vs. Deny Path",
+                      "Ihde & Sanders, DSN 2006, section 4.3 (explanation)");
+  const auto opt = bench::bench_options();
+  const auto search = bench::bench_search_options();
+  const int depth = 32;
+
+  auto min_rate = [&](apps::FloodType type, firewall::RuleAction action) {
+    TestbedConfig cfg;
+    cfg.firewall = FirewallKind::kAdf;
+    cfg.action_rule_depth = depth;
+    cfg.flood_action = action;
+    FloodSpec flood;
+    flood.type = type;
+    const auto r = find_min_dos_flood_rate(cfg, flood, opt, search);
+    return r.rate_pps.value_or(0.0);
+  };
+
+  const double tcp_allowed = min_rate(apps::FloodType::kTcpData,
+                                      firewall::RuleAction::kAllow);
+  const double udp_allowed = min_rate(apps::FloodType::kUdp,
+                                      firewall::RuleAction::kAllow);
+  const double tcp_denied = min_rate(apps::FloodType::kTcpData,
+                                     firewall::RuleAction::kDeny);
+
+  TextTable table({"Flood (ADF, depth 32)", "Responses per flood packet",
+                   "Min DoS rate (pps)"});
+  table.add_row({"TCP data, allowed", "1 (RST)", fmt_int(tcp_allowed)});
+  table.add_row({"UDP, allowed", "~0 (ICMP rate-limited)", fmt_int(udp_allowed)});
+  table.add_row({"TCP data, denied", "0", fmt_int(tcp_denied)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("deny/allow factor:          %.2f (paper: ~2)\n",
+              tcp_denied / tcp_allowed);
+  std::printf("silent-allow/allow factor:  %.2f (should match deny/allow)\n",
+              udp_allowed / tcp_allowed);
+  std::printf("deny vs silent-allow:       %.2f (should be ~1: the deny path\n"
+              "                            itself adds no tolerance)\n\n",
+              tcp_denied / udp_allowed);
+  return 0;
+}

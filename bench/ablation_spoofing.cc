@@ -1,0 +1,49 @@
+// Ablation: how much does "deny attack sources early" actually buy?
+//
+// The paper recommends placing denies for likely attack sources early in the
+// rule-set, then immediately warns that "early denial is only partially
+// effective in preventing flood attacks, given the attacker's ability to
+// spoof packets that will traverse deeper into the rule-set." This ablation
+// quantifies both halves: an EFW-style deny-the-attacker rule at depth 1
+// with the allow rule at depth 64, attacked first honestly and then with
+// randomized spoofed sources.
+#include "bench_common.h"
+
+int main() {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header("Ablation: Early Denial vs. Source Spoofing",
+                      "Ihde & Sanders, DSN 2006, sections 4.3 and 5");
+  const auto opt = bench::bench_options();
+  const auto search = bench::bench_search_options();
+
+  auto min_rate = [&](bool spoof) {
+    TestbedConfig cfg;
+    cfg.firewall = FirewallKind::kAdf;  // no lockup fault; isolates the effect
+    cfg.action_rule_depth = 64;
+    cfg.deny_attacker_first = true;
+    FloodSpec flood;
+    flood.type = apps::FloodType::kTcpData;
+    flood.spoof_source = spoof;
+    const auto r = find_min_dos_flood_rate(cfg, flood, opt, search);
+    return r.rate_pps.value_or(0.0);
+  };
+
+  const double honest = min_rate(false);
+  const double spoofed = min_rate(true);
+
+  TextTable table({"Attacker (ADF, deny-attacker rule at depth 1, allow at 64)",
+                   "Min DoS rate (pps)"});
+  table.add_row({"real source address (hits the early deny)", fmt_int(honest)});
+  table.add_row({"spoofed sources (traverse to the depth-64 allow)",
+                 fmt_int(spoofed)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Early denial raises the attack cost by %.1fx against an honest\n"
+              "source, but spoofing claws back a factor of %.1fx: spoofed flood\n"
+              "packets are matched by the deep allow rule AND elicit RST\n"
+              "responses, the worst case of Figure 3(b). Early denies help only\n"
+              "against attackers who cannot spoof.\n\n",
+              honest / spoofed, honest / spoofed);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: what if the EFW had kept pf-style flow state?
+//
+// The EFW/ADF are stateless packet filters — every frame walks the rule-set,
+// which is the root of both Figure 2's depth penalty and Figure 3's flood
+// economics. OpenBSD pf (Hartmeier, the paper's stateful software
+// comparator) shows the alternative: established flows match in O(1). This
+// ablation gives the EFW model a flow-state table and re-runs both
+// experiments. The result is instructive: statefulness erases the depth
+// penalty for legitimate traffic but barely moves the DoS threshold —
+// flood packets are all first-packets, so they still pay (and charge the
+// card) for the full walk.
+#include "bench_common.h"
+
+int main() {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header("Ablation: Stateless vs. Stateful NIC Filtering",
+                      "Ihde & Sanders, DSN 2006 — EFW statelessness (sections 2, 4)");
+  const auto opt = bench::bench_options();
+
+  auto stateful_profile = firewall::efw_profile();
+  stateful_profile.name = "EFW-stateful";
+  stateful_profile.stateful = true;
+
+  TextTable fig2({"Rules", "EFW stateless (Mbps)", "EFW stateful (Mbps)"});
+  for (int depth : {1, 16, 32, 48, 64}) {
+    TestbedConfig cfg;
+    cfg.firewall = FirewallKind::kEfw;
+    cfg.action_rule_depth = depth;
+    const double stateless = measure_available_bandwidth(cfg, opt).mean();
+    cfg.profile_override = stateful_profile;
+    const double stateful = measure_available_bandwidth(cfg, opt).mean();
+    fig2.add_row({std::to_string(depth), fmt(stateless), fmt(stateful)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", fig2.to_string().c_str());
+
+  // Flood tolerance at depth 64 (allowed TCP data flood, spoofed source
+  // ports -> every flood packet is a fresh flow).
+  const auto search = bench::bench_search_options();
+  FloodSpec flood;
+  flood.type = apps::FloodType::kTcpData;
+  flood.spoof_source = true;
+  TestbedConfig cfg;
+  cfg.firewall = FirewallKind::kEfw;
+  cfg.action_rule_depth = 64;
+  const auto stateless_dos = find_min_dos_flood_rate(cfg, flood, opt, search);
+  cfg.profile_override = stateful_profile;
+  const auto stateful_dos = find_min_dos_flood_rate(cfg, flood, opt, search);
+
+  TextTable fig3({"Model (64 rules, spoofed TCP flood)", "Min DoS rate (pps)"});
+  fig3.add_row({"EFW stateless",
+                stateless_dos.rate_pps ? fmt_int(*stateless_dos.rate_pps) : "none"});
+  fig3.add_row({"EFW stateful",
+                stateful_dos.rate_pps ? fmt_int(*stateful_dos.rate_pps) : "none"});
+  std::printf("%s\n", fig3.to_string().c_str());
+
+  std::printf(
+      "Statefulness flattens the Figure 2 curve (established flows skip the\n"
+      "walk) but the Figure 3 threshold barely moves: every flood packet is a\n"
+      "first-packet and still buys a full rule walk at minimum-frame prices.\n"
+      "Flood tolerance needs admission control (see extension_flood_guard),\n"
+      "not just faster classification of good traffic.\n\n");
+  return 0;
+}

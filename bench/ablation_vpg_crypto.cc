@@ -1,0 +1,40 @@
+// Ablation: decrypt-at-match vs. decrypt-always VPG processing.
+//
+// The paper infers from Figure 2 that "the ADF is able to avoid decrypting
+// incoming packets until they reach the matching VPG rule" — inserting
+// non-matching VPGs above the action rule barely moved throughput. This
+// ablation runs the same VPG-depth sweep under both processing models to
+// show what the measurement would have looked like if the card attempted
+// decryption at every VPG rule it walked.
+#include "bench_common.h"
+
+int main() {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header("Ablation: VPG Crypto Placement",
+                      "Ihde & Sanders, DSN 2006, section 4.1 (VPG inference)");
+  const auto opt = bench::bench_options();
+
+  TextTable table({"VPGs", "decrypt-at-match (Mbps)", "decrypt-always (Mbps)"});
+  for (int vpgs : {1, 2, 3, 4}) {
+    TestbedConfig at_match;
+    at_match.firewall = FirewallKind::kAdfVpg;
+    at_match.action_rule_depth = vpgs;
+    const double real = measure_available_bandwidth(at_match, opt).mean();
+
+    TestbedConfig always = at_match;
+    auto profile = firewall::adf_profile();
+    profile.vpg_decrypt_always = true;
+    always.profile_override = profile;
+    const double naive = measure_available_bandwidth(always, opt).mean();
+
+    table.add_row({std::to_string(vpgs), fmt(real), fmt(naive)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The decrypt-at-match column is nearly flat (the paper's observation);\n"
+      "decrypt-always would fall steeply with every added non-matching VPG,\n"
+      "which the paper's measurements rule out.\n\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared configuration for the paper-reproduction benchmark binaries.
+//
+// Each binary regenerates one table or figure from the paper's evaluation
+// and prints it as an aligned table plus CSV. Set BARB_BENCH_FAST=1 for a
+// quick pass (shorter windows, fewer repetitions, coarser searches).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiments.h"
+#include "core/report.h"
+#include "util/logging.h"
+
+namespace barb::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("BARB_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline core::MeasurementOptions bench_options() {
+  // Suppress expected lockup warnings in the experiment output.
+  Logger::instance().set_level(LogLevel::kError);
+  core::MeasurementOptions opt;
+  if (fast_mode()) {
+    opt.window = sim::Duration::milliseconds(500);
+    opt.repetitions = 1;
+    opt.http_duration = sim::Duration::seconds(2);
+  } else {
+    opt.window = sim::Duration::seconds(2);
+    opt.repetitions = 3;  // the paper averages three measurements per point
+    opt.http_duration = sim::Duration::seconds(10);
+  }
+  return opt;
+}
+
+inline core::MinFloodSearchOptions bench_search_options() {
+  core::MinFloodSearchOptions search;
+  search.precision = fast_mode() ? 1.25 : 1.08;
+  return search;
+}
+
+// Writes a table's CSV to $BARB_BENCH_CSV_DIR/<name>.csv when the variable
+// is set (for plotting pipelines); no-op otherwise.
+inline void maybe_write_csv(const char* name, const core::TextTable& table) {
+  const char* dir = std::getenv("BARB_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string csv = table.to_csv();
+  std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("%s\n", fast_mode() ? "(fast mode: reduced windows/repetitions)"
+                                  : "(full mode; BARB_BENCH_FAST=1 for a quick pass)");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace barb::bench

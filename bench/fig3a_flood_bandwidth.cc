@@ -1,0 +1,45 @@
+// Figure 3(a): available bandwidth during a packet flood, single-rule
+// policy.
+//
+// Paper series: No Firewall, iptables, EFW, ADF, ADF (VPG) across nine
+// flood rates. Shape to reproduce: the plain NIC and iptables degrade only
+// by wire contention; the EFW/ADF lose a major portion of bandwidth well
+// before ~45 kpps and collapse to ~0 around 30% of the maximum frame rate;
+// the ADF VPG curve declines near-linearly with flood rate.
+#include "bench_common.h"
+
+int main() {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header("Figure 3(a): Available Bandwidth During Packet Flood",
+                      "Ihde & Sanders, DSN 2006, Figure 3(a)");
+  const auto opt = bench::bench_options();
+
+  const double rates[] = {5000,  10000, 15000, 20000, 25000,
+                          30000, 35000, 40000, 45000};
+  TextTable table({"Flood Rate (pps)", "No Firewall", "iptables", "EFW", "ADF",
+                   "ADF (VPG)"});
+  for (double rate : rates) {
+    std::vector<std::string> row{fmt_int(rate)};
+    for (auto kind : {FirewallKind::kNone, FirewallKind::kIptables, FirewallKind::kEfw,
+                      FirewallKind::kAdf, FirewallKind::kAdfVpg}) {
+      TestbedConfig cfg;
+      cfg.firewall = kind;
+      cfg.action_rule_depth = 1;
+      FloodSpec flood;  // minimum-size UDP flood, the attacker's optimum
+      flood.rate_pps = rate;
+      const auto point = measure_bandwidth_under_flood(cfg, flood, opt);
+      row.push_back(fmt(point.mean()));
+      std::fflush(stdout);
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  barb::bench::maybe_write_csv("fig3a", table);
+  std::printf(
+      "Paper anchors: baselines hold most of the residual bandwidth under\n"
+      "flood; EFW/ADF collapse to ~0 near 45 kpps (30%% of the maximum frame\n"
+      "rate); ADF (VPG) declines near-linearly from its no-flood ~55 Mbps.\n\n");
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Engine microbenchmarks (google-benchmark): the hot paths whose absolute
+// host-side speed bounds how fast the simulation itself runs.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+#include "firewall/rule_set.h"
+#include "net/frame_view.h"
+#include "net/packet_builder.h"
+#include "sim/simulation.h"
+#include "stack/tcp.h"
+#include "testbed_for_bench.h"
+
+namespace {
+
+using namespace barb;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(sim::Duration::nanoseconds(i), [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1460)->Arg(16384);
+
+void BM_AeadSeal(benchmark::State& state) {
+  crypto::Aead::Key key{};
+  crypto::Aead::Nonce nonce{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Aead::seal(key, nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(60)->Arg(1460);
+
+void BM_AeadOpen(benchmark::State& state) {
+  crypto::Aead::Key key{};
+  crypto::Aead::Nonce nonce{};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x42);
+  const auto sealed = crypto::Aead::seal(key, nonce, {}, data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Aead::open(key, nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(60)->Arg(1460);
+
+std::vector<std::uint8_t> sample_frame() {
+  net::IpEndpoints ep;
+  ep.src_ip = net::Ipv4Address(10, 0, 0, 30);
+  ep.dst_ip = net::Ipv4Address(10, 0, 0, 40);
+  ep.src_mac = net::MacAddress::from_host_id(30);
+  ep.dst_mac = net::MacAddress::from_host_id(40);
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 5001;
+  tcp.flags = net::TcpFlags::kAck;
+  const std::vector<std::uint8_t> payload(1400, 0x5a);
+  return net::build_tcp_frame(ep, tcp, payload);
+}
+
+void BM_FrameParse(benchmark::State& state) {
+  const auto frame = sample_frame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::FrameView::parse(frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_RuleSetMatch(benchmark::State& state) {
+  firewall::RuleSet rs;
+  for (int i = 0; i < state.range(0) - 1; ++i) {
+    firewall::Rule padding;
+    padding.action = firewall::RuleAction::kDeny;
+    padding.src_net = net::Ipv4Address(192, 168, 0, static_cast<std::uint8_t>(i + 1));
+    padding.src_prefix = 32;
+    rs.add(padding);
+  }
+  firewall::Rule allow;
+  allow.action = firewall::RuleAction::kAllow;
+  rs.add(allow);
+
+  const auto frame = sample_frame();
+  const auto view = net::FrameView::parse(frame);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.match(*view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuleSetMatch)->Arg(1)->Arg(16)->Arg(64);
+
+// Whole-simulation speed: events per wall-clock second while a TCP bulk
+// transfer saturates the simulated 100 Mbps link.
+void BM_SimulatedTcpSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    const std::uint64_t events = barb::benchutil::run_one_simulated_second();
+    state.counters["sim_events"] = static_cast<double>(events);
+  }
+}
+BENCHMARK(BM_SimulatedTcpSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

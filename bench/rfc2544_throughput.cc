@@ -1,0 +1,95 @@
+// Appendix: RFC 2544-style maximum lossless throughput of the firewall
+// cards, and the paper's indirect Max.Throughput = BW / FrameSize estimate.
+//
+// The paper explains why it could not run RFC 2544 directly (a host-resident
+// firewall has no second interface to forward out of) and instead derived
+// maximum throughput from single-interface bandwidth measurements. With a
+// simulator we can do both: a binary search for the highest UDP frame rate
+// the card sustains with zero loss (RFC 2544's definition, using the NIC's
+// own delivery counters), next to the paper's derivation.
+#include "bench_common.h"
+
+#include "apps/flood_generator.h"
+#include "core/testbed.h"
+
+namespace {
+
+using namespace barb;
+using namespace barb::core;
+
+// Highest rate (pps) of `frame_size` UDP frames the target's firewall
+// delivers with zero loss over a one-second trial.
+double max_lossless_rate(FirewallKind kind, int depth, std::size_t frame_size) {
+  auto lossless_at = [&](double rate) {
+    sim::Simulation sim(1);
+    TestbedConfig cfg;
+    cfg.firewall = kind;
+    cfg.action_rule_depth = depth;
+    Testbed tb(sim, cfg);
+    // Sink the flood on an open UDP port so it is legitimate traffic.
+    auto* sink = tb.target().udp_open(kFloodPort);
+    (void)sink;
+
+    apps::FloodConfig fc;
+    fc.target = tb.addresses().target;
+    fc.target_port = kFloodPort;
+    fc.rate_pps = rate;
+    fc.frame_size = frame_size;
+    apps::FloodGenerator gen(tb.attacker(), fc);
+    gen.start();
+    sim.run_for(sim::Duration::seconds(1));
+    gen.stop();
+    sim.run_for(sim::Duration::milliseconds(200));  // drain queues
+
+    const auto& nic = tb.target().nic().stats();
+    return nic.rx_delivered >= gen.packets_sent();
+  };
+
+  // RFC 2544 binary search between 0 and the line rate for this size.
+  const double line_rate =
+      100e6 / ((std::max<std::size_t>(frame_size, 60) + 24) * 8.0);
+  double lo = 0, hi = line_rate;
+  if (lossless_at(line_rate)) return line_rate;
+  for (int i = 0; i < 12; ++i) {
+    const double mid = (lo + hi) / 2;
+    (lossless_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Appendix: RFC 2544-style Maximum Lossless Throughput",
+                      "Ihde & Sanders, DSN 2006, section 4.1 methodology notes");
+
+  TextTable direct({"Device (64 rules)", "64 B frames (pps)", "1514 B frames (pps)",
+                    "1514 B frames (Mbps)"});
+  for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
+    const double small = max_lossless_rate(kind, 64, 60);
+    const double big = max_lossless_rate(kind, 64, 1514);
+    direct.add_row({to_string(kind), fmt_int(small), fmt_int(big),
+                    fmt(big * 1514 * 8 / 1e6)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", direct.to_string().c_str());
+
+  // The paper's indirect estimate from the Figure-2 bandwidth measurement.
+  const auto opt = bench::bench_options();
+  TextTable indirect({"Device (64 rules)", "iperf BW (Mbps)",
+                      "BW/FrameSize estimate (pps)"});
+  for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
+    TestbedConfig cfg;
+    cfg.firewall = kind;
+    cfg.action_rule_depth = 64;
+    const double mbps = measure_available_bandwidth(cfg, opt).mean();
+    indirect.add_row({to_string(kind), fmt(mbps), fmt_int(mbps * 1e6 / 8 / 1514)});
+  }
+  std::printf("%s\n", indirect.to_string().c_str());
+  std::printf(
+      "The paper reports ~4100 pkt/s for the EFW/ADF behind 64 rules via the\n"
+      "indirect method. Note the asymmetry the paper warns about: the lossless\n"
+      "rate for minimum-size frames is far below the line's 148810 fps, so \"no\n"
+      "bandwidth loss with large frames\" never implies flood tolerance.\n\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Helper for the whole-simulation microbenchmark: one simulated second of
+// saturated TCP between two hosts, returning the number of engine events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/iperf.h"
+#include "link/link.h"
+#include "sim/simulation.h"
+#include "stack/host.h"
+#include "stack/nic.h"
+
+namespace barb::benchutil {
+
+inline std::uint64_t run_one_simulated_second() {
+  sim::Simulation sim(1);
+  link::Link link(sim);
+  stack::Host a(sim, "a", net::Ipv4Address(10, 0, 0, 1),
+                std::make_unique<stack::StandardNic>(
+                    sim, net::MacAddress::from_host_id(1), "a/nic"));
+  stack::Host b(sim, "b", net::Ipv4Address(10, 0, 0, 2),
+                std::make_unique<stack::StandardNic>(
+                    sim, net::MacAddress::from_host_id(2), "b/nic"));
+  a.nic().attach(link.a());
+  b.nic().attach(link.b());
+  a.arp().add(b.ip(), b.mac());
+  b.arp().add(a.ip(), a.mac());
+
+  apps::IperfServer server(b);
+  server.start();
+  apps::IperfClient client(a, b.ip());
+  client.run(apps::IperfClient::Mode::kTcp, sim::Duration::seconds(1),
+             [](apps::IperfResult) {});
+  sim.run_for(sim::Duration::milliseconds(1100));
+  return sim.events_executed();
+}
+
+}  // namespace barb::benchutil

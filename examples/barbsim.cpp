@@ -1,0 +1,168 @@
+// barbsim: command-line driver for the validation methodology — run any of
+// the paper's experiments against any device configuration without writing
+// code.
+//
+//   $ ./barbsim --firewall efw --depth 64 --experiment bandwidth
+//   $ ./barbsim --firewall adf --depth 32 --experiment flood --flood-rate 30000
+//   $ ./barbsim --firewall adf --depth 64 --experiment minflood --flood-type data
+//   $ ./barbsim --firewall adf-vpg --depth 2 --experiment http
+//   $ ./barbsim --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/ping.h"
+#include "core/experiments.h"
+#include "util/logging.h"
+
+using namespace barb;
+using namespace barb::core;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "barbsim — NIC-firewall flood-tolerance experiments\n\n"
+      "  --experiment bandwidth|flood|minflood|http|ping  (default bandwidth)\n"
+      "  --firewall none|iptables|efw|adf|adf-vpg     (default efw)\n"
+      "  --depth N          action rule depth / VPG count (default 1)\n"
+      "  --deny             deny the flood at the action rule (default allow)\n"
+      "  --flood-rate R     packets/s for --experiment flood (default 30000)\n"
+      "  --flood-type udp|syn|data                    (default udp)\n"
+      "  --spoof            randomize flood source addresses\n"
+      "  --frame-size B     flood frame size in bytes (default 60)\n"
+      "  --window S         measurement window seconds (default 2)\n"
+      "  --reps N           repetitions per point (default 3)\n"
+      "  --seed S           simulation seed (default 1)\n"
+      "  --managed          distribute policy via the policy server\n");
+}
+
+std::optional<FirewallKind> parse_firewall(const std::string& name) {
+  if (name == "none") return FirewallKind::kNone;
+  if (name == "iptables") return FirewallKind::kIptables;
+  if (name == "efw") return FirewallKind::kEfw;
+  if (name == "adf") return FirewallKind::kAdf;
+  if (name == "adf-vpg") return FirewallKind::kAdfVpg;
+  return std::nullopt;
+}
+
+std::optional<apps::FloodType> parse_flood_type(const std::string& name) {
+  if (name == "udp") return apps::FloodType::kUdp;
+  if (name == "syn") return apps::FloodType::kTcpSyn;
+  if (name == "data") return apps::FloodType::kTcpData;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kError);
+
+  std::string experiment = "bandwidth";
+  TestbedConfig cfg;
+  cfg.firewall = FirewallKind::kEfw;
+  MeasurementOptions opt;
+  FloodSpec flood;
+  flood.rate_pps = 30000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--experiment") {
+      experiment = next();
+    } else if (arg == "--firewall") {
+      auto kind = parse_firewall(next());
+      if (!kind) {
+        std::fprintf(stderr, "unknown firewall\n");
+        return 2;
+      }
+      cfg.firewall = *kind;
+    } else if (arg == "--depth") {
+      cfg.action_rule_depth = std::atoi(next());
+    } else if (arg == "--deny") {
+      cfg.flood_action = firewall::RuleAction::kDeny;
+    } else if (arg == "--managed") {
+      cfg.use_policy_server = true;
+    } else if (arg == "--flood-rate") {
+      flood.rate_pps = std::atof(next());
+    } else if (arg == "--flood-type") {
+      auto type = parse_flood_type(next());
+      if (!type) {
+        std::fprintf(stderr, "unknown flood type\n");
+        return 2;
+      }
+      flood.type = *type;
+    } else if (arg == "--spoof") {
+      flood.spoof_source = true;
+    } else if (arg == "--frame-size") {
+      flood.frame_size = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--window") {
+      opt.window = sim::Duration::from_seconds(std::atof(next()));
+    } else if (arg == "--reps") {
+      opt.repetitions = std::atoi(next());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("firewall=%s depth=%d flood_action=%s seed=%llu\n",
+              to_string(cfg.firewall), cfg.action_rule_depth,
+              firewall::to_string(cfg.flood_action),
+              static_cast<unsigned long long>(opt.seed));
+
+  if (experiment == "bandwidth") {
+    const auto p = measure_available_bandwidth(cfg, opt);
+    std::printf("available bandwidth: %.1f Mbps (stddev %.2f over %zu reps)\n",
+                p.mean(), p.stddev(), p.mbps.count());
+  } else if (experiment == "flood") {
+    const auto p = measure_bandwidth_under_flood(cfg, flood, opt);
+    std::printf("bandwidth under %.0f pps flood: %.1f Mbps\n", flood.rate_pps,
+                p.mean());
+  } else if (experiment == "minflood") {
+    const auto r = find_min_dos_flood_rate(cfg, flood, opt);
+    if (r.rate_pps) {
+      std::printf("minimum DoS flood rate: %.0f pps%s (%d probes)\n", *r.rate_pps,
+                  r.lockup_observed ? " [card locked up during search]" : "",
+                  r.probes);
+    } else {
+      std::printf("no flood rate up to the search limit causes DoS (%d probes)\n",
+                  r.probes);
+    }
+  } else if (experiment == "ping") {
+    sim::Simulation sim(opt.seed);
+    Testbed tb(sim, cfg);
+    apps::PingClient ping(tb.client(), tb.addresses().target);
+    apps::PingResult result;
+    ping.run(20, [&](apps::PingResult r) { result = r; });
+    tb.settle();
+    sim.run_for(sim::Duration::seconds(30));
+    std::printf("ping: %llu/%llu replies, rtt min/mean/max = %.3f/%.3f/%.3f ms\n",
+                static_cast<unsigned long long>(result.received),
+                static_cast<unsigned long long>(result.sent), result.min_rtt_ms,
+                result.mean_rtt_ms, result.max_rtt_ms);
+  } else if (experiment == "http") {
+    const auto p = measure_http_performance(cfg, opt);
+    std::printf("http: %.1f fetches/s, %.2f ms connect, %.2f ms response, "
+                "%llu errors\n",
+                p.fetches_per_sec, p.mean_connect_ms, p.mean_response_ms,
+                static_cast<unsigned long long>(p.errors));
+  } else {
+    std::fprintf(stderr, "unknown experiment (try --help)\n");
+    return 2;
+  }
+  return 0;
+}

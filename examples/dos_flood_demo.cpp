@@ -1,0 +1,82 @@
+// Denial-of-service demo: watch an EFW-protected host lose its bandwidth as
+// the attacker ramps up a packet flood — the paper's headline result, live.
+//
+//   $ ./dos_flood_demo [rule_depth]
+//
+// Builds the full Figure-1 testbed (policy server, attacker, client,
+// target + switch), starts iperf between client and target, and steps the
+// flood rate up every two simulated seconds while printing the measured
+// bandwidth.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/flood_generator.h"
+#include "apps/iperf.h"
+#include "core/testbed.h"
+#include "util/logging.h"
+
+using namespace barb;
+using namespace barb::core;
+
+int main(int argc, char** argv) {
+  Logger::instance().set_level(LogLevel::kError);
+  const int depth = argc > 1 ? std::atoi(argv[1]) : 1;
+
+  sim::Simulation sim(7);
+  TestbedConfig cfg;
+  cfg.firewall = FirewallKind::kEfw;
+  cfg.action_rule_depth = depth;
+  Testbed tb(sim, cfg);
+
+  std::printf("EFW target, %d-rule policy (flood allowed by the action rule)\n\n",
+              depth);
+  std::printf("%-18s %-18s %-12s %-14s\n", "flood rate (pps)", "bandwidth (Mbps)",
+              "NIC drops", "CPU util");
+
+  apps::IperfServer server(tb.target());
+  server.start();
+
+  apps::FloodConfig flood_cfg;
+  flood_cfg.target = tb.addresses().target;
+  flood_cfg.target_port = kFloodPort;
+  flood_cfg.rate_pps = 1;  // effectively off
+  apps::FloodGenerator flood(tb.attacker(), flood_cfg);
+  flood.start();
+
+  std::uint64_t drops_before = 0;
+  sim::Duration busy_before;
+  for (double rate : {0.0, 5000.0, 15000.0, 25000.0, 35000.0, 40000.0, 45000.0,
+                      50000.0}) {
+    if (rate > 0) flood.set_rate(rate);
+    sim.run_for(sim::Duration::milliseconds(300));  // settle
+
+    apps::IperfClient client(tb.client(), tb.addresses().target);
+    double mbps = 0;
+    bool done = false;
+    const auto window = sim::Duration::seconds(2);
+    client.run(apps::IperfClient::Mode::kTcp, window, [&](apps::IperfResult r) {
+      mbps = r.completed ? r.mbps : 0.0;
+      done = true;
+    });
+    sim.run_for(window + sim::Duration::seconds(1));
+    if (!done) client.cancel();
+    sim.run_for(sim::Duration::milliseconds(10));
+
+    const auto& fw = tb.target_firewall()->fw_stats();
+    const auto window_s = (window + sim::Duration::milliseconds(1300)).to_seconds();
+    const double util =
+        (fw.cpu_busy - busy_before).to_seconds() / window_s * 100.0;
+    std::printf("%-18.0f %-18.1f %-12llu %.0f%%\n", rate, mbps,
+                static_cast<unsigned long long>(fw.rx_ring_drops - drops_before),
+                util);
+    drops_before = fw.rx_ring_drops;
+    busy_before = fw.cpu_busy;
+  }
+
+  std::printf("\nThe card's embedded CPU saturates around 45 kpps — 30%% of the\n"
+              "100 Mbps maximum frame rate — and legitimate traffic starves,\n"
+              "exactly the vulnerability the paper reports. Try\n"
+              "  ./dos_flood_demo 64\n"
+              "to see the collapse arrive at a far lower flood rate.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Virtual Private Group demo: transparent NIC-to-NIC encryption between two
+// ADF cards, with an on-path eavesdropper showing what the wire actually
+// carries — and what happens to tampered or replayed frames.
+//
+//   $ ./vpg_secure_channel
+#include <cstdio>
+#include <string>
+
+#include "core/testbed.h"
+#include "link/tracer.h"
+#include "stack/tcp.h"
+#include "util/byte_io.h"
+#include "util/logging.h"
+
+using namespace barb;
+using namespace barb::core;
+
+namespace {
+
+}  // namespace
+
+int main() {
+  Logger::instance().set_level(LogLevel::kError);
+  sim::Simulation sim(5);
+  TestbedConfig cfg;
+  cfg.firewall = FirewallKind::kAdfVpg;
+  cfg.action_rule_depth = 1;
+  Testbed tb(sim, cfg);
+
+  // Splice a frame tap between the wire and the target's ADF card.
+  link::FrameTap tap(&tb.target().nic());
+  tb.target().nic().port()->connect_sink(&tap);
+
+  std::printf("client and target each carry an ADF; policy: one VPG between\n"
+              "10.0.0.30 and 10.0.0.40 (keys provisioned per group)\n\n");
+
+  const std::string secret = "TOP-SECRET: the barbarians are inside the gate";
+  std::string received;
+  tb.target().tcp_listen(5001, [&](std::shared_ptr<stack::TcpConnection> conn) {
+    conn->on_data = [&](std::span<const std::uint8_t> data) {
+      received.assign(data.begin(), data.end());
+    };
+  });
+  auto conn = tb.client().tcp_connect(tb.addresses().target, 5001);
+  conn->on_connected = [&] {
+    conn->send({reinterpret_cast<const std::uint8_t*>(secret.data()), secret.size()});
+  };
+  sim.run_for(sim::Duration::seconds(1));
+
+  std::printf("application received: \"%s\"\n\n", received.c_str());
+
+  // What did the eavesdropper see?
+  std::size_t vpg_frames = 0;
+  bool plaintext_on_wire = false;
+  for (const auto& frame : tap.frames()) {
+    auto view = net::FrameView::parse(frame.data);
+    if (view && view->vpg) ++vpg_frames;
+    const std::string raw(frame.data.begin(), frame.data.end());
+    if (raw.find("TOP-SECRET") != std::string::npos) plaintext_on_wire = true;
+  }
+  std::printf("eavesdropper captured %zu frames toward the target; %zu were\n"
+              "VPG-encapsulated (IP protocol 250). plaintext visible on the\n"
+              "wire: %s\n",
+              tap.frames().size(), vpg_frames, plaintext_on_wire ? "YES" : "NO");
+  if (!tap.frames().empty()) {
+    const auto& sample = tap.frames().back();
+    const auto head = std::span(sample.data).first(std::min<std::size_t>(48, sample.data.size()));
+    std::printf("first bytes of a captured frame: %s...\n\n",
+                to_hex(head).c_str());
+  }
+
+  // Active attacks: replay a captured VPG frame and inject a tampered one.
+  // The capture is a real pcap: open it in Wireshark.
+  if (tap.write_pcap("vpg_capture.pcap")) {
+    std::printf("wrote vpg_capture.pcap (%zu frames, LINKTYPE_ETHERNET)\n\n",
+                tap.frames().size());
+  }
+
+  const auto& vpg_stats_before = tb.target_firewall()->vpg_table().stats();
+  const auto replays_before = vpg_stats_before.replays_dropped;
+  const auto auth_before = vpg_stats_before.auth_failures;
+  for (const auto& frame : tap.frames()) {
+    auto view = net::FrameView::parse(frame.data);
+    if (!view || !view->vpg) continue;
+    // Replay verbatim.
+    tb.attacker().nic().transmit(net::Packet{frame.data, sim.now(), 0});
+    // Replay with one flipped ciphertext bit.
+    auto tampered = frame.data;
+    tampered.back() ^= 0x01;
+    tb.attacker().nic().transmit(net::Packet{std::move(tampered), sim.now(), 0});
+  }
+  sim.run_for(sim::Duration::seconds(1));
+  const auto& vpg_stats = tb.target_firewall()->vpg_table().stats();
+  std::printf("active attack results at the target's ADF:\n");
+  std::printf("  replayed frames dropped:  %llu\n",
+              static_cast<unsigned long long>(vpg_stats.replays_dropped - replays_before));
+  std::printf("  tampered frames rejected: %llu\n",
+              static_cast<unsigned long long>(vpg_stats.auth_failures - auth_before));
+  std::printf("\nConfidentiality, integrity, and replay protection hold on the\n"
+              "wire — at the bandwidth cost Figure 2 and Table 1 quantify.\n");
+  return 0;
+}

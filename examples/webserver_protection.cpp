@@ -1,0 +1,55 @@
+// Web-server protection trade-off: what an operator gives up by pushing the
+// HTTP allow rule deeper into an ADF policy (the paper's Table 1 scenario,
+// including the 31-rule Oracle-style policy it cites as realistic).
+//
+//   $ ./webserver_protection
+#include <cstdio>
+
+#include "core/experiments.h"
+#include "util/logging.h"
+
+using namespace barb;
+using namespace barb::core;
+
+int main() {
+  Logger::instance().set_level(LogLevel::kError);
+  MeasurementOptions opt;
+  opt.http_duration = sim::Duration::seconds(5);
+
+  std::printf("http_load against an Apache-class server (10 KB page), one\n"
+              "connection at a time, 5 s per configuration\n\n");
+  std::printf("%-28s %10s %12s %14s\n", "configuration", "fetches/s", "ms/connect",
+              "ms/response");
+
+  TestbedConfig baseline;
+  const auto base = measure_http_performance(baseline, opt);
+  std::printf("%-28s %10.1f %12.2f %14.2f\n", "standard NIC", base.fetches_per_sec,
+              base.mean_connect_ms, base.mean_response_ms);
+
+  // The paper notes 3Com's recommended Oracle protection needs >= 31 rules;
+  // include that depth alongside the sweep.
+  for (int depth : {1, 8, 31, 64}) {
+    TestbedConfig cfg;
+    cfg.firewall = FirewallKind::kAdf;
+    cfg.action_rule_depth = depth;
+    const auto p = measure_http_performance(cfg, opt);
+    std::printf("ADF, HTTP rule at depth %-4d %10.1f %12.2f %14.2f   (-%.0f%%)\n",
+                depth, p.fetches_per_sec, p.mean_connect_ms, p.mean_response_ms,
+                (1.0 - p.fetches_per_sec / base.fetches_per_sec) * 100.0);
+  }
+
+  TestbedConfig vpg;
+  vpg.firewall = FirewallKind::kAdfVpg;
+  vpg.action_rule_depth = 1;
+  const auto pv = measure_http_performance(vpg, opt);
+  std::printf("%-28s %10.1f %12.2f %14.2f   (-%.0f%%)\n", "ADF, HTTP through a VPG",
+              pv.fetches_per_sec, pv.mean_connect_ms, pv.mean_response_ms,
+              (1.0 - pv.fetches_per_sec / base.fetches_per_sec) * 100.0);
+
+  std::printf("\nOperator guidance from the paper, visible above: keep\n"
+              "performance-sensitive services early in the rule-set; budget for\n"
+              "the VPG's crypto cost; and remember a realistic policy (>=31\n"
+              "rules for the cited Oracle example) already sits in the range\n"
+              "where throughput losses are material.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+# Renders the paper's figures from the benchmark CSV exports.
+#
+#   mkdir -p results
+#   BARB_BENCH_CSV_DIR=results ./build/bench/fig2_bandwidth
+#   BARB_BENCH_CSV_DIR=results ./build/bench/fig3a_flood_bandwidth
+#   BARB_BENCH_CSV_DIR=results ./build/bench/fig3b_min_flood_rate
+#   gnuplot -e "dir='results'" scripts/plot_figures.gp
+#
+# Produces fig2.png, fig3a.png, fig3b.png alongside the CSVs.
+if (!exists("dir")) dir = "results"
+
+set datafile separator ","
+set terminal pngcairo size 900,600 font "sans,11"
+set key outside right
+set grid
+
+set output dir."/fig2.png"
+set title "Figure 2: Available Bandwidth vs. Rule-Set Depth"
+set xlabel "Firewall rules traversed before action"
+set ylabel "Available bandwidth (Mbps)"
+set yrange [0:100]
+plot dir."/fig2_rules.csv" using 1:2 skip 1 with linespoints title "No Firewall", \
+     ''                    using 1:3 skip 1 with linespoints title "iptables", \
+     ''                    using 1:4 skip 1 with linespoints title "EFW", \
+     ''                    using 1:5 skip 1 with linespoints title "ADF"
+
+set output dir."/fig3a.png"
+set title "Figure 3(a): Available Bandwidth During Packet Flood (1 rule)"
+set xlabel "Flood rate (packets/s)"
+set ylabel "Available bandwidth (Mbps)"
+set yrange [0:100]
+plot dir."/fig3a.csv" using 1:2 skip 1 with linespoints title "No Firewall", \
+     ''               using 1:3 skip 1 with linespoints title "iptables", \
+     ''               using 1:4 skip 1 with linespoints title "EFW", \
+     ''               using 1:5 skip 1 with linespoints title "ADF", \
+     ''               using 1:6 skip 1 with linespoints title "ADF (VPG)"
+
+# Figure 3(b) ships row-per-series (one row per firewall configuration, one
+# column per depth), which gnuplot cannot consume directly; pivot it first:
+#
+#   awk -F, 'NR==1{split($0,d,","); next}
+#            {gsub(/ \[LOCKUP\]/,""); for(i=2;i<=NF;i++)
+#              print substr(d[i],3), $i > "results/fig3b_"NR".dat"}' \
+#       results/fig3b.csv
+#
+# then plot the per-series .dat files:
+#   plot "results/fig3b_2.dat" with linespoints title "EFW (Allow)", ...

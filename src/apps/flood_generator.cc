@@ -1,0 +1,98 @@
+#include "apps/flood_generator.h"
+
+#include "net/tcp_header.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace barb::apps {
+
+FloodGenerator::FloodGenerator(stack::Host& attacker, FloodConfig config)
+    : attacker_(attacker), config_(config) {
+  BARB_ASSERT(config_.rate_pps > 0);
+}
+
+void FloodGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  send_one();
+}
+
+void FloodGenerator::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+void FloodGenerator::send_one() {
+  if (!running_) return;
+  attacker_.nic().transmit(craft_packet());
+  ++packets_sent_;
+  // Fixed-interval pacing, like a busy-loop generator hitting its target rate.
+  timer_ = attacker_.simulation().schedule(
+      sim::Duration::from_seconds(1.0 / config_.rate_pps), [this] { send_one(); });
+}
+
+net::Packet FloodGenerator::craft_packet() {
+  auto& rng = attacker_.simulation().rng();
+
+  net::IpEndpoints ep;
+  ep.dst_ip = config_.target;
+  ep.src_mac = attacker_.mac();
+  // The victim's MAC comes from the attacker's ARP view of the subnet.
+  const auto dst_mac = attacker_.arp().lookup(config_.target);
+  ep.dst_mac = dst_mac.value_or(net::MacAddress::broadcast());
+
+  std::uint16_t src_port = config_.source_port;
+  if (config_.spoof_source) {
+    // Random source within the testbed's /8 (never the real attacker).
+    ep.src_ip = net::Ipv4Address(10, static_cast<std::uint8_t>(rng.uniform(255) + 1),
+                                 static_cast<std::uint8_t>(rng.uniform(256)),
+                                 static_cast<std::uint8_t>(rng.uniform(254) + 1));
+    src_port = static_cast<std::uint16_t>(1024 + rng.uniform(60000));
+  } else {
+    ep.src_ip = attacker_.ip();
+  }
+
+  std::vector<std::uint8_t> frame;
+  switch (config_.type) {
+    case FloodType::kUdp: {
+      // Pad the payload so the final frame hits the configured size.
+      constexpr std::size_t kHeaders = net::EthernetHeader::kSize +
+                                       net::Ipv4Header::kSize + net::UdpHeader::kSize;
+      const std::size_t payload_len =
+          config_.frame_size > kHeaders ? config_.frame_size - kHeaders : 0;
+      std::vector<std::uint8_t> payload(payload_len, 0x42);
+      frame = net::build_udp_frame(ep, src_port, config_.target_port, payload, ip_id_++);
+      break;
+    }
+    case FloodType::kTcpSyn: {
+      net::TcpHeader h;
+      h.src_port = src_port;
+      h.dst_port = config_.target_port;
+      h.seq = static_cast<std::uint32_t>(rng.next_u64());
+      h.flags = net::TcpFlags::kSyn;
+      h.window = 65535;
+      frame = net::build_tcp_frame(ep, h, {}, ip_id_++);
+      break;
+    }
+    case FloodType::kTcpData: {
+      net::TcpHeader h;
+      h.src_port = src_port;
+      h.dst_port = config_.target_port;
+      h.seq = static_cast<std::uint32_t>(rng.next_u64());
+      h.ack = static_cast<std::uint32_t>(rng.next_u64());
+      h.flags = net::TcpFlags::kAck;
+      h.window = 65535;
+      constexpr std::size_t kHeaders = net::EthernetHeader::kSize +
+                                       net::Ipv4Header::kSize + net::TcpHeader::kMinSize;
+      const std::size_t payload_len =
+          config_.frame_size > kHeaders ? config_.frame_size - kHeaders : 0;
+      std::vector<std::uint8_t> payload(payload_len, 0x42);
+      frame = net::build_tcp_frame(ep, h, payload, ip_id_++);
+      break;
+    }
+  }
+  return net::Packet{std::move(frame), attacker_.simulation().now(),
+                     attacker_.next_packet_id()};
+}
+
+}  // namespace barb::apps

@@ -1,0 +1,343 @@
+#include "apps/http.h"
+
+#include <charconv>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace barb::apps {
+
+// ------------------------------------------------------------------ server
+
+struct HttpServer::Conn {
+  std::string request;
+  bool responded = false;
+};
+
+HttpServer::HttpServer(stack::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  pages_["/"] = 10 * 1024;
+}
+
+void HttpServer::add_page(const std::string& path, std::size_t size) {
+  pages_[path] = size;
+}
+
+void HttpServer::start() {
+  host_.tcp_listen(port_, [this](std::shared_ptr<stack::TcpConnection> conn) {
+    auto state = std::make_shared<Conn>();
+    conn->on_data = [this, conn, state](std::span<const std::uint8_t> data) {
+      if (state->responded) return;
+      state->request.append(data.begin(), data.end());
+      const auto end = state->request.find("\r\n\r\n");
+      if (end == std::string::npos) {
+        if (state->request.size() > 8192) {  // oversized request
+          ++bad_requests_;
+          state->responded = true;
+          conn->abort();
+        }
+        return;
+      }
+      state->responded = true;
+      const std::string line = state->request.substr(0, state->request.find("\r\n"));
+      host_.simulation().schedule(request_service_time,
+                                  [this, conn, line] { handle_request(conn, line); });
+    };
+    conn->on_peer_closed = [conn] { conn->close(); };
+  });
+}
+
+void HttpServer::handle_request(const std::shared_ptr<stack::TcpConnection>& conn,
+                                const std::string& request_line) {
+  // "GET <path> HTTP/1.x"
+  std::string path;
+  bool ok = false;
+  if (request_line.rfind("GET ", 0) == 0) {
+    const auto sp = request_line.find(' ', 4);
+    if (sp != std::string::npos) {
+      path = request_line.substr(4, sp - 4);
+      ok = true;
+    }
+  }
+  auto it = ok ? pages_.find(path) : pages_.end();
+
+  std::string response;
+  std::size_t body_size = 0;
+  if (it != pages_.end()) {
+    body_size = it->second;
+    response = "HTTP/1.0 200 OK\r\nServer: barb-httpd/1.0\r\nContent-Type: text/html\r\n"
+               "Content-Length: " + std::to_string(body_size) + "\r\n\r\n";
+    ++requests_served_;
+  } else {
+    const std::string body = "<html><body>404 Not Found</body></html>";
+    response = "HTTP/1.0 404 Not Found\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n\r\n" + body;
+    ++bad_requests_;
+  }
+
+  std::vector<std::uint8_t> bytes(response.begin(), response.end());
+  // Deterministic page content.
+  for (std::size_t i = 0; i < body_size; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>('a' + (i % 26)));
+  }
+  // Server send buffer (256 KB) always fits header + our page sizes.
+  conn->send(bytes);
+  conn->close();  // HTTP/1.0: close after the response
+}
+
+// ------------------------------------------------------------------ client
+
+HttpLoadClient::HttpLoadClient(stack::Host& host, net::Ipv4Address server,
+                               std::uint16_t port, std::string path)
+    : host_(host), server_ip_(server), port_(port), path_(std::move(path)) {}
+
+HttpLoadClient::~HttpLoadClient() { end_timer_.cancel(); }
+
+void HttpLoadClient::run(sim::Duration duration,
+                         std::function<void(HttpLoadResult)> done) {
+  BARB_ASSERT_MSG(!running_, "http_load client already running");
+  running_ = true;
+  done_ = std::move(done);
+  run_start_ = host_.simulation().now();
+  end_timer_ = host_.simulation().schedule(duration, [this] { finish_run(); });
+  start_fetch();
+}
+
+void HttpLoadClient::start_fetch() {
+  if (!running_) return;
+  response_buffer_.clear();
+  headers_done_ = false;
+  expected_body_ = 0;
+  body_received_ = 0;
+
+  connect_started_ = host_.simulation().now();
+  conn_ = host_.tcp_connect(server_ip_, port_);
+  if (!conn_) {
+    // Local failure (no route / port exhaustion): back off briefly instead
+    // of spinning synchronously.
+    ++errors_;
+    host_.simulation().schedule(sim::Duration::milliseconds(10),
+                                [this] { start_fetch(); });
+    return;
+  }
+  conn_->on_connected = [this] {
+    connect_ms_.add((host_.simulation().now() - connect_started_).to_milliseconds());
+    const std::string request = "GET " + path_ + " HTTP/1.0\r\n\r\n";
+    request_sent_ = host_.simulation().now();
+    conn_->send({reinterpret_cast<const std::uint8_t*>(request.data()), request.size()});
+  };
+  conn_->on_data = [this](std::span<const std::uint8_t> data) {
+    if (!headers_done_) {
+      response_buffer_.append(data.begin(), data.end());
+      const auto end = response_buffer_.find("\r\n\r\n");
+      if (end == std::string::npos) return;
+      const auto cl = response_buffer_.find("Content-Length: ");
+      if (cl == std::string::npos || response_buffer_.rfind("HTTP/1.0 200", 0) != 0) {
+        ++errors_;
+        finish_fetch(false);
+        return;
+      }
+      const char* begin = response_buffer_.data() + cl + 16;
+      (void)std::from_chars(begin, response_buffer_.data() + end, expected_body_);
+      headers_done_ = true;
+      body_received_ = response_buffer_.size() - (end + 4);
+    } else {
+      body_received_ += data.size();
+    }
+    if (headers_done_ && body_received_ >= expected_body_) {
+      response_ms_.add((host_.simulation().now() - request_sent_).to_milliseconds());
+      bytes_ += expected_body_;
+      ++fetches_;
+      finish_fetch(true);
+    }
+  };
+  conn_->on_closed = [this] {
+    // Reset or failure before the body completed.
+    if (conn_ && !(headers_done_ && body_received_ >= expected_body_)) {
+      ++errors_;
+      finish_fetch(false);
+    }
+  };
+}
+
+void HttpLoadClient::finish_fetch(bool /*success*/) {
+  if (conn_) {
+    auto conn = conn_;
+    conn_ = nullptr;
+    conn->on_closed = nullptr;
+    conn->on_data = nullptr;
+    if (conn->state() != stack::TcpState::kClosed) conn->close();
+  }
+  if (!running_) return;
+  // Immediately start the next fetch (http_load with rate unlimited).
+  start_fetch();
+}
+
+void HttpLoadClient::finish_run() {
+  if (!running_) return;
+  running_ = false;
+  if (conn_) {
+    auto conn = conn_;
+    conn_ = nullptr;
+    conn->on_closed = nullptr;
+    conn->on_data = nullptr;
+    if (conn->state() != stack::TcpState::kClosed) conn->abort();
+  }
+  HttpLoadResult result;
+  result.fetches = fetches_;
+  result.errors = errors_;
+  result.duration_s = (host_.simulation().now() - run_start_).to_seconds();
+  result.fetches_per_sec =
+      result.duration_s > 0 ? static_cast<double>(fetches_) / result.duration_s : 0.0;
+  result.mean_connect_ms = connect_ms_.empty() ? 0.0 : connect_ms_.mean();
+  result.mean_response_ms = response_ms_.empty() ? 0.0 : response_ms_.mean();
+  if (!connect_ms_.empty()) {
+    result.p50_connect_ms = connect_ms_.percentile(50);
+    result.p99_connect_ms = connect_ms_.percentile(99);
+  }
+  if (!response_ms_.empty()) {
+    result.p50_response_ms = response_ms_.percentile(50);
+    result.p99_response_ms = response_ms_.percentile(99);
+  }
+  result.bytes = bytes_;
+  if (done_) done_(result);
+}
+
+// -------------------------------------------------------- parallel client
+
+struct HttpParallelLoadClient::Fetch {
+  std::shared_ptr<stack::TcpConnection> conn;
+  sim::TimePoint started;
+  std::string buffer;
+  std::size_t expected_body = 0;
+  std::size_t body_received = 0;
+  bool headers_done = false;
+  bool finished = false;
+};
+
+HttpParallelLoadClient::HttpParallelLoadClient(stack::Host& host,
+                                               net::Ipv4Address server,
+                                               std::uint16_t port, std::string path)
+    : host_(host), server_ip_(server), port_(port), path_(std::move(path)) {}
+
+HttpParallelLoadClient::~HttpParallelLoadClient() {
+  spawn_timer_.cancel();
+  end_timer_.cancel();
+}
+
+void HttpParallelLoadClient::run(double connections_per_sec, sim::Duration duration,
+                                 std::function<void(HttpParallelResult)> done,
+                                 std::size_t max_parallel) {
+  BARB_ASSERT_MSG(!running_, "parallel http_load client already running");
+  BARB_ASSERT(connections_per_sec > 0);
+  running_ = true;
+  interval_s_ = 1.0 / connections_per_sec;
+  max_parallel_allowed_ = max_parallel;
+  done_ = std::move(done);
+  run_start_ = host_.simulation().now();
+  last_parallel_sample_ = run_start_;
+  parallel_time_integral_ = 0;
+  end_timer_ = host_.simulation().schedule(duration, [this] { finish_run(); });
+  start_fetch();
+}
+
+void HttpParallelLoadClient::account_parallel() {
+  const auto now = host_.simulation().now();
+  parallel_time_integral_ +=
+      static_cast<double>(in_flight_) * (now - last_parallel_sample_).to_seconds();
+  last_parallel_sample_ = now;
+}
+
+void HttpParallelLoadClient::start_fetch() {
+  if (!running_) return;
+  spawn_timer_ = host_.simulation().schedule(
+      sim::Duration::from_seconds(interval_s_), [this] { start_fetch(); });
+
+  if (in_flight_ >= max_parallel_allowed_) {
+    ++errors_;  // the configured cap counts as a refused connection
+    return;
+  }
+  auto fetch = std::make_shared<Fetch>();
+  fetch->started = host_.simulation().now();
+  fetch->conn = host_.tcp_connect(server_ip_, port_);
+  if (!fetch->conn) {
+    ++errors_;
+    return;
+  }
+  account_parallel();
+  ++in_flight_;
+  max_parallel_seen_ = std::max(max_parallel_seen_, in_flight_);
+  ++started_;
+
+  fetch->conn->on_connected = [this, fetch] {
+    const std::string request = "GET " + path_ + " HTTP/1.0\r\n\r\n";
+    fetch->conn->send(
+        {reinterpret_cast<const std::uint8_t*>(request.data()), request.size()});
+  };
+  fetch->conn->on_data = [this, fetch](std::span<const std::uint8_t> data) {
+    if (fetch->finished) return;
+    if (!fetch->headers_done) {
+      fetch->buffer.append(data.begin(), data.end());
+      const auto end = fetch->buffer.find("\r\n\r\n");
+      if (end == std::string::npos) return;
+      const auto cl = fetch->buffer.find("Content-Length: ");
+      if (cl == std::string::npos || fetch->buffer.rfind("HTTP/1.0 200", 0) != 0) {
+        finish_fetch(fetch, false);
+        return;
+      }
+      const char* begin = fetch->buffer.data() + cl + 16;
+      (void)std::from_chars(begin, fetch->buffer.data() + end, fetch->expected_body);
+      fetch->headers_done = true;
+      fetch->body_received = fetch->buffer.size() - (end + 4);
+    } else {
+      fetch->body_received += data.size();
+    }
+    if (fetch->headers_done && fetch->body_received >= fetch->expected_body) {
+      response_ms_.add(
+          (host_.simulation().now() - fetch->started).to_milliseconds());
+      finish_fetch(fetch, true);
+    }
+  };
+  fetch->conn->on_closed = [this, fetch] {
+    if (!fetch->finished) finish_fetch(fetch, false);
+  };
+}
+
+void HttpParallelLoadClient::finish_fetch(const std::shared_ptr<Fetch>& fetch,
+                                          bool success) {
+  if (fetch->finished) return;
+  fetch->finished = true;
+  account_parallel();
+  --in_flight_;
+  (success ? completed_ : errors_) += 1;
+  auto conn = fetch->conn;
+  fetch->conn = nullptr;
+  if (conn) {
+    conn->on_closed = nullptr;
+    conn->on_data = nullptr;
+    conn->on_connected = nullptr;
+    if (conn->state() != stack::TcpState::kClosed) conn->close();
+  }
+}
+
+void HttpParallelLoadClient::finish_run() {
+  if (!running_) return;
+  running_ = false;
+  spawn_timer_.cancel();
+  account_parallel();
+
+  HttpParallelResult result;
+  result.started = started_;
+  result.completed = completed_;
+  result.errors = errors_;
+  result.completion_fraction =
+      started_ == 0 ? 0.0
+                    : static_cast<double>(completed_) / static_cast<double>(started_);
+  const double elapsed = (host_.simulation().now() - run_start_).to_seconds();
+  result.mean_parallel = elapsed > 0 ? parallel_time_integral_ / elapsed : 0.0;
+  result.max_parallel = max_parallel_seen_;
+  result.mean_response_ms = response_ms_.empty() ? 0.0 : response_ms_.mean();
+  if (done_) done_(result);
+}
+
+}  // namespace barb::apps

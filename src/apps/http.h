@@ -1,0 +1,162 @@
+// Minimal HTTP/1.0 server and an http_load-style client.
+//
+// The server plays the paper's Apache 2 (default page, close-after-response
+// semantics); the client replicates the paper's http_load configuration:
+// one connection at a time, unlimited request rate, fixed test duration,
+// reporting fetches/s, connect latency, and whole-response latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "stack/host.h"
+#include "stack/tcp.h"
+#include "util/stats.h"
+
+namespace barb::apps {
+
+class HttpServer {
+ public:
+  explicit HttpServer(stack::Host& host, std::uint16_t port = 80);
+
+  void start();
+
+  // Server-side request processing time (parse, stat, build headers) — an
+  // Apache 2 on the testbed's 1 GHz P3 spends ~3.5 ms per static request.
+  // Without this the firewall's share of fetch latency is exaggerated.
+  sim::Duration request_service_time = sim::Duration::microseconds(3500);
+
+  // Registers a page of `size` bytes of deterministic content. The default
+  // server carries "/" at 10 KB (a default-install index page).
+  void add_page(const std::string& path, std::size_t size);
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t bad_requests() const { return bad_requests_; }
+
+ private:
+  struct Conn;
+  void handle_request(const std::shared_ptr<stack::TcpConnection>& conn,
+                      const std::string& request_line);
+
+  stack::Host& host_;
+  std::uint16_t port_;
+  std::map<std::string, std::size_t> pages_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t bad_requests_ = 0;
+};
+
+struct HttpLoadResult {
+  std::uint64_t fetches = 0;
+  std::uint64_t errors = 0;  // connect failures, resets, bad responses
+  double duration_s = 0.0;
+  double fetches_per_sec = 0.0;
+  double mean_connect_ms = 0.0;   // SYN sent -> connection established
+  double mean_response_ms = 0.0;  // request sent -> full body received
+  // Tail latency (linear-interpolated percentiles over per-fetch samples).
+  double p50_connect_ms = 0.0;
+  double p99_connect_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+// Rate-driven http_load variant — the paper's alternative configuration
+// ("http_load could have been configured to measure the number of parallel
+// connections supported by the server at a given connection rate"): a new
+// fetch starts every 1/rate seconds regardless of completions, and the
+// report says how many connections that keeps in flight and how many
+// fetches still succeed.
+struct HttpParallelResult {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  double completion_fraction = 0.0;
+  double mean_parallel = 0.0;   // time-averaged connections in flight
+  std::size_t max_parallel = 0;
+  double mean_response_ms = 0.0;
+};
+
+class HttpParallelLoadClient {
+ public:
+  HttpParallelLoadClient(stack::Host& host, net::Ipv4Address server,
+                         std::uint16_t port = 80, std::string path = "/");
+  ~HttpParallelLoadClient();
+
+  void run(double connections_per_sec, sim::Duration duration,
+           std::function<void(HttpParallelResult)> done,
+           std::size_t max_parallel = 1000);
+
+ private:
+  struct Fetch;
+  void start_fetch();
+  void finish_fetch(const std::shared_ptr<Fetch>& fetch, bool success);
+  void account_parallel();
+  void finish_run();
+
+  stack::Host& host_;
+  net::Ipv4Address server_ip_;
+  std::uint16_t port_;
+  std::string path_;
+
+  bool running_ = false;
+  double interval_s_ = 0;
+  std::size_t max_parallel_allowed_ = 1000;
+  std::function<void(HttpParallelResult)> done_;
+  sim::TimePoint run_start_;
+  sim::TimePoint last_parallel_sample_;
+  double parallel_time_integral_ = 0;
+  sim::EventHandle spawn_timer_;
+  sim::EventHandle end_timer_;
+
+  std::size_t in_flight_ = 0;
+  std::size_t max_parallel_seen_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t errors_ = 0;
+  Stats response_ms_;
+};
+
+class HttpLoadClient {
+ public:
+  HttpLoadClient(stack::Host& host, net::Ipv4Address server, std::uint16_t port = 80,
+                 std::string path = "/");
+  ~HttpLoadClient();
+
+  // Runs fetches back-to-back (one connection at a time) for `duration`,
+  // then reports.
+  void run(sim::Duration duration, std::function<void(HttpLoadResult)> done);
+
+ private:
+  void start_fetch();
+  void finish_fetch(bool success);
+  void finish_run();
+
+  stack::Host& host_;
+  net::Ipv4Address server_ip_;
+  std::uint16_t port_;
+  std::string path_;
+
+  bool running_ = false;
+  std::function<void(HttpLoadResult)> done_;
+  sim::TimePoint run_start_;
+  sim::EventHandle end_timer_;
+
+  std::shared_ptr<stack::TcpConnection> conn_;
+  sim::TimePoint connect_started_;
+  sim::TimePoint request_sent_;
+  std::string response_buffer_;
+  std::size_t expected_body_ = 0;
+  std::size_t body_received_ = 0;
+  bool headers_done_ = false;
+
+  std::uint64_t fetches_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t bytes_ = 0;
+  Stats connect_ms_;
+  Stats response_ms_;
+};
+
+}  // namespace barb::apps

@@ -1,0 +1,200 @@
+#include "apps/iperf.h"
+
+#include <charconv>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace barb::apps {
+
+namespace {
+
+constexpr char kUdpReportRequest[] = "IPERF-END";
+constexpr char kUdpReportPrefix[] = "IPERF-REPORT ";
+
+}  // namespace
+
+IperfServer::IperfServer(stack::Host& host, std::uint16_t port)
+    : host_(host), port_(port) {}
+
+void IperfServer::start() {
+  host_.tcp_listen(port_, [this](std::shared_ptr<stack::TcpConnection> conn) {
+    ++connections_;
+    conn->on_data = [this](std::span<const std::uint8_t> data) {
+      tcp_bytes_ += data.size();  // discard, like iperf -s
+    };
+    conn->on_peer_closed = [conn] { conn->close(); };
+  });
+  udp_ = host_.udp_open(port_);
+  if (udp_ != nullptr) {
+    udp_->set_receiver([this](net::Ipv4Address src, std::uint16_t src_port,
+                              std::span<const std::uint8_t> payload) {
+      handle_udp(src, src_port, payload);
+    });
+  }
+}
+
+void IperfServer::handle_udp(net::Ipv4Address src, std::uint16_t src_port,
+                             std::span<const std::uint8_t> payload) {
+  // End-of-test marker: reply with a report instead of counting.
+  if (payload.size() >= sizeof(kUdpReportRequest) - 1 &&
+      std::memcmp(payload.data(), kUdpReportRequest, sizeof(kUdpReportRequest) - 1) ==
+          0) {
+    std::string report = kUdpReportPrefix;
+    report += std::to_string(udp_bytes_) + " " + std::to_string(udp_datagrams_);
+    udp_->send_to(src, src_port,
+                  {reinterpret_cast<const std::uint8_t*>(report.data()), report.size()});
+    return;
+  }
+  ++udp_datagrams_;
+  udp_bytes_ += payload.size();
+}
+
+IperfClient::IperfClient(stack::Host& host, net::Ipv4Address server, std::uint16_t port)
+    : host_(host), server_ip_(server), port_(port) {}
+
+IperfClient::~IperfClient() {
+  end_timer_.cancel();
+  udp_timer_.cancel();
+  if (udp_ != nullptr) udp_->close();
+}
+
+void IperfClient::run(Mode mode, sim::Duration duration,
+                      std::function<void(IperfResult)> done, double udp_rate_bps) {
+  BARB_ASSERT_MSG(!running_, "iperf client already running");
+  running_ = true;
+  mode_ = mode;
+  duration_ = duration;
+  done_ = std::move(done);
+
+  if (mode == Mode::kTcp) {
+    conn_ = host_.tcp_connect(server_ip_, port_);
+    if (!conn_) {
+      running_ = false;
+      done_(IperfResult{});
+      return;
+    }
+    conn_->on_connected = [this] {
+      started_ = host_.simulation().now();
+      acked_at_start_ = conn_->stats().bytes_acked;
+      end_timer_ = host_.simulation().schedule(duration_, [this] { finish_tcp(); });
+      pump_tcp();
+    };
+    conn_->on_send_space = [this] { pump_tcp(); };
+    conn_->on_closed = [this] {
+      // Connection died (reset / gave up) before the timer: report what we
+      // measured; zero if it never established.
+      if (!running_) return;
+      finish_tcp();
+    };
+    return;
+  }
+
+  // UDP mode.
+  udp_ = host_.udp_open(0);
+  if (udp_ == nullptr) {
+    running_ = false;
+    done_(IperfResult{});
+    return;
+  }
+  udp_->set_receiver([this](net::Ipv4Address, std::uint16_t,
+                            std::span<const std::uint8_t> payload) {
+    const std::size_t prefix_len = sizeof(kUdpReportPrefix) - 1;
+    if (payload.size() < prefix_len ||
+        std::memcmp(payload.data(), kUdpReportPrefix, prefix_len) != 0) {
+      return;
+    }
+    end_timer_.cancel();
+    const std::string text(payload.begin() + static_cast<long>(prefix_len),
+                           payload.end());
+    std::uint64_t bytes = 0;
+    (void)std::from_chars(text.data(), text.data() + text.size(), bytes);
+    IperfResult result;
+    result.completed = true;
+    result.bytes = bytes;
+    result.duration_s = duration_.to_seconds();
+    result.mbps = static_cast<double>(bytes) * 8.0 / result.duration_s / 1e6;
+    running_ = false;
+    if (done_) done_(result);
+  });
+  started_ = host_.simulation().now();
+  udp_interval_s_ = (udp_payload_ + 46.0) * 8.0 / udp_rate_bps;  // incl. headers
+  send_next_udp();
+  end_timer_ = host_.simulation().schedule(duration_, [this] {
+    udp_timer_.cancel();
+    report_retries_left_ = 10;
+    request_udp_report();
+  });
+}
+
+void IperfClient::cancel() {
+  if (!running_) return;
+  if (mode_ == Mode::kTcp) {
+    finish_tcp();
+    return;
+  }
+  udp_timer_.cancel();
+  end_timer_.cancel();
+  running_ = false;
+  if (done_) done_(IperfResult{});
+}
+
+void IperfClient::pump_tcp() {
+  if (!running_ || !conn_) return;
+  static const std::vector<std::uint8_t> chunk(16 * 1024, 0x5a);
+  while (conn_->send_space() > 0) {
+    if (conn_->send(chunk) == 0) break;
+  }
+}
+
+void IperfClient::finish_tcp() {
+  if (!running_) return;
+  running_ = false;
+  end_timer_.cancel();
+
+  IperfResult result;
+  const auto now = host_.simulation().now();
+  if (conn_ && conn_->stats().bytes_acked >= acked_at_start_ &&
+      now > started_) {
+    const double elapsed = (now - started_).to_seconds();
+    if (elapsed > 0 && conn_->state() != stack::TcpState::kSynSent) {
+      result.completed = true;
+      result.bytes = conn_->stats().bytes_acked - acked_at_start_;
+      result.duration_s = elapsed;
+      result.mbps = static_cast<double>(result.bytes) * 8.0 / elapsed / 1e6;
+      result.retransmissions = conn_->stats().retransmissions;
+    }
+  }
+  auto conn = conn_;
+  conn_ = nullptr;
+  if (conn && conn->state() != stack::TcpState::kClosed) conn->abort();
+  if (done_) done_(result);
+}
+
+void IperfClient::send_next_udp() {
+  if (!running_ || udp_ == nullptr) return;
+  std::vector<std::uint8_t> payload(udp_payload_, 0x5a);
+  udp_->send_to(server_ip_, port_, payload);
+  udp_sent_bytes_ += payload.size();
+  udp_timer_ = host_.simulation().schedule(sim::Duration::from_seconds(udp_interval_s_),
+                                           [this] { send_next_udp(); });
+}
+
+void IperfClient::request_udp_report() {
+  if (!running_) return;
+  if (report_retries_left_-- <= 0) {
+    // Report never made it through (e.g. the path is dead): fail the test.
+    running_ = false;
+    if (done_) done_(IperfResult{});
+    return;
+  }
+  const std::string marker = kUdpReportRequest;
+  udp_->send_to(server_ip_, port_,
+                {reinterpret_cast<const std::uint8_t*>(marker.data()), marker.size()});
+  end_timer_ = host_.simulation().schedule(sim::Duration::milliseconds(250),
+                                           [this] { request_udp_report(); });
+}
+
+}  // namespace barb::apps

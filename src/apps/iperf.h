@@ -1,0 +1,104 @@
+// iperf equivalent: timed TCP and UDP bandwidth measurement between two
+// hosts, reporting application-level achieved bandwidth exactly as the
+// paper's available-bandwidth experiments do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "stack/host.h"
+#include "stack/tcp.h"
+#include "stack/udp.h"
+#include "util/token_bucket.h"
+
+namespace barb::apps {
+
+class IperfServer {
+ public:
+  static constexpr std::uint16_t kDefaultPort = 5001;
+
+  explicit IperfServer(stack::Host& host, std::uint16_t port = kDefaultPort);
+
+  void start();
+
+  std::uint64_t tcp_bytes_received() const { return tcp_bytes_; }
+  std::uint64_t udp_bytes_received() const { return udp_bytes_; }
+  std::uint64_t udp_datagrams_received() const { return udp_datagrams_; }
+  std::uint64_t connections_accepted() const { return connections_; }
+
+ private:
+  void handle_udp(net::Ipv4Address src, std::uint16_t src_port,
+                  std::span<const std::uint8_t> payload);
+
+  stack::Host& host_;
+  std::uint16_t port_;
+  stack::UdpSocket* udp_ = nullptr;
+  std::uint64_t tcp_bytes_ = 0;
+  std::uint64_t udp_bytes_ = 0;
+  std::uint64_t udp_datagrams_ = 0;
+  std::uint64_t connections_ = 0;
+};
+
+struct IperfResult {
+  bool completed = false;      // connection established and the test ran
+  double mbps = 0.0;           // application goodput over the measurement window
+  std::uint64_t bytes = 0;     // bytes acknowledged (TCP) / reported (UDP)
+  double duration_s = 0.0;
+  std::uint64_t retransmissions = 0;  // TCP only
+};
+
+class IperfClient {
+ public:
+  enum class Mode { kTcp, kUdp };
+
+  IperfClient(stack::Host& host, net::Ipv4Address server,
+              std::uint16_t port = IperfServer::kDefaultPort);
+  ~IperfClient();
+
+  // Runs one timed test and invokes `done` with the result. TCP mode streams
+  // as fast as the window allows and measures acknowledged bytes; UDP mode
+  // paces datagrams at `udp_rate_bps` and measures via the server's
+  // end-of-test report (retried until it gets through, like real iperf).
+  void run(Mode mode, sim::Duration duration, std::function<void(IperfResult)> done,
+           double udp_rate_bps = 10e6);
+
+  bool running() const { return running_; }
+
+  // Aborts a test in progress, reporting whatever was measured so far (a
+  // connection that never established reports 0). Used by the experiment
+  // harness when a flooded measurement cannot finish on its own.
+  void cancel();
+
+ private:
+  void pump_tcp();
+  void finish_tcp();
+  void send_next_udp();
+  void request_udp_report();
+
+  stack::Host& host_;
+  net::Ipv4Address server_ip_;
+  std::uint16_t port_;
+
+  bool running_ = false;
+  Mode mode_ = Mode::kTcp;
+  sim::Duration duration_;
+  std::function<void(IperfResult)> done_;
+  sim::TimePoint started_;
+  sim::EventHandle end_timer_;
+
+  // TCP state.
+  std::shared_ptr<stack::TcpConnection> conn_;
+  std::uint64_t acked_at_start_ = 0;
+
+  // UDP state.
+  stack::UdpSocket* udp_ = nullptr;
+  double udp_interval_s_ = 0.0;
+  sim::EventHandle udp_timer_;
+  std::uint64_t udp_sent_bytes_ = 0;
+  int report_retries_left_ = 0;
+  std::size_t udp_payload_ = 1460;
+};
+
+}  // namespace barb::apps

@@ -1,0 +1,72 @@
+#include "apps/ping.h"
+
+#include "util/assert.h"
+
+namespace barb::apps {
+
+PingClient::PingClient(stack::Host& host, net::Ipv4Address target)
+    : host_(host), target_(target),
+      id_(static_cast<std::uint16_t>(host.simulation().rng().uniform(65536))) {
+  host_.set_echo_reply_handler(
+      [this](net::Ipv4Address src, std::uint16_t id, std::uint16_t seq) {
+        if (src != target_ || id != id_) return;
+        auto it = in_flight_.find(seq);
+        if (it == in_flight_.end()) return;
+        const auto rtt = host_.simulation().now() - it->second;
+        in_flight_.erase(it);
+        if (rtt <= timeout_) rtts_ms_.add(rtt.to_milliseconds());
+      });
+}
+
+PingClient::~PingClient() {
+  timer_.cancel();
+  host_.set_echo_reply_handler(nullptr);
+}
+
+void PingClient::run(int count, std::function<void(PingResult)> done,
+                     sim::Duration interval, sim::Duration timeout,
+                     std::size_t payload_bytes) {
+  BARB_ASSERT_MSG(!running_, "ping client already running");
+  running_ = true;
+  remaining_ = count;
+  interval_ = interval;
+  timeout_ = timeout;
+  payload_bytes_ = payload_bytes;
+  done_ = std::move(done);
+  in_flight_.clear();
+  rtts_ms_ = Stats{};
+  sent_ = 0;
+  send_next();
+}
+
+void PingClient::send_next() {
+  if (remaining_ <= 0) {
+    // Allow stragglers up to the timeout, then report.
+    timer_ = host_.simulation().schedule(timeout_, [this] { finish(); });
+    return;
+  }
+  --remaining_;
+  const std::uint16_t seq = next_seq_++;
+  in_flight_[seq] = host_.simulation().now();
+  ++sent_;
+  host_.send_echo_request(target_, id_, seq, payload_bytes_);
+  timer_ = host_.simulation().schedule(interval_, [this] { send_next(); });
+}
+
+void PingClient::finish() {
+  running_ = false;
+  PingResult result;
+  result.sent = sent_;
+  result.received = rtts_ms_.count();
+  result.loss_fraction =
+      sent_ == 0 ? 0.0
+                 : 1.0 - static_cast<double>(result.received) / static_cast<double>(sent_);
+  if (!rtts_ms_.empty()) {
+    result.min_rtt_ms = rtts_ms_.min();
+    result.mean_rtt_ms = rtts_ms_.mean();
+    result.max_rtt_ms = rtts_ms_.max();
+  }
+  if (done_) done_(result);
+}
+
+}  // namespace barb::apps

@@ -1,0 +1,60 @@
+// ping: ICMP echo RTT measurement.
+//
+// The paper's latency observations (Table 1 connect/response times) are
+// application-level; ping gives the raw network-path number, which makes the
+// firewall's queueing delay directly visible — handy for sizing the latency
+// cost of rule-set depth without HTTP in the way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "stack/host.h"
+#include "util/stats.h"
+
+namespace barb::apps {
+
+struct PingResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double loss_fraction = 0.0;
+  double min_rtt_ms = 0.0;
+  double mean_rtt_ms = 0.0;
+  double max_rtt_ms = 0.0;
+};
+
+class PingClient {
+ public:
+  PingClient(stack::Host& host, net::Ipv4Address target);
+  ~PingClient();
+
+  // Sends `count` echo requests at `interval`, then reports. Replies slower
+  // than `timeout` count as lost. Only one run at a time per client.
+  void run(int count, std::function<void(PingResult)> done,
+           sim::Duration interval = sim::Duration::milliseconds(100),
+           sim::Duration timeout = sim::Duration::seconds(1),
+           std::size_t payload_bytes = 56);
+
+ private:
+  void send_next();
+  void finish();
+
+  stack::Host& host_;
+  net::Ipv4Address target_;
+  std::uint16_t id_;
+
+  bool running_ = false;
+  int remaining_ = 0;
+  std::uint16_t next_seq_ = 0;
+  sim::Duration interval_;
+  sim::Duration timeout_;
+  std::size_t payload_bytes_ = 56;
+  std::function<void(PingResult)> done_;
+  std::unordered_map<std::uint16_t, sim::TimePoint> in_flight_;
+  Stats rtts_ms_;
+  std::uint64_t sent_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace barb::apps

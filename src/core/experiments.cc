@@ -1,0 +1,174 @@
+#include "core/experiments.h"
+
+#include <memory>
+
+#include "apps/http.h"
+#include "apps/iperf.h"
+#include "util/logging.h"
+
+namespace barb::core {
+
+namespace {
+
+// Runs `reps` iperf TCP measurements from client to target inside an
+// already-settled testbed and records Mbps per repetition.
+void run_bandwidth_reps(Testbed& tb, const MeasurementOptions& options, Stats& out) {
+  auto& sim = tb.simulation();
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    apps::IperfClient client(tb.client(), tb.addresses().target);
+    std::optional<double> measured;
+    client.run(apps::IperfClient::Mode::kTcp, options.window,
+               [&](apps::IperfResult r) { measured = r.completed ? r.mbps : 0.0; });
+    sim.run_for(options.window + options.grace);
+    if (!measured) {
+      // The measurement could not finish (fully flooded path): score it 0.
+      client.cancel();
+      sim.run_for(sim::Duration::milliseconds(1));
+    }
+    out.add(measured.value_or(0.0));
+    sim.run_for(options.gap);
+  }
+}
+
+}  // namespace
+
+BandwidthPoint measure_available_bandwidth(const TestbedConfig& config,
+                                           const MeasurementOptions& options) {
+  sim::Simulation sim(options.seed);
+  Testbed tb(sim, config);
+  apps::IperfServer server(tb.target());
+  server.start();
+  tb.settle();
+
+  BandwidthPoint point;
+  run_bandwidth_reps(tb, options, point.mbps);
+  return point;
+}
+
+BandwidthPoint measure_bandwidth_under_flood(const TestbedConfig& config,
+                                             const FloodSpec& flood,
+                                             const MeasurementOptions& options) {
+  sim::Simulation sim(options.seed);
+  Testbed tb(sim, config);
+  apps::IperfServer server(tb.target());
+  server.start();
+  tb.settle();
+
+  apps::FloodConfig fc;
+  fc.target = tb.addresses().target;
+  fc.target_port = kFloodPort;
+  fc.type = flood.type;
+  fc.rate_pps = flood.rate_pps;
+  fc.frame_size = flood.frame_size;
+  fc.spoof_source = flood.spoof_source;
+  apps::FloodGenerator generator(tb.attacker(), fc);
+  generator.start();
+  sim.run_for(options.flood_warmup);
+
+  BandwidthPoint point;
+  run_bandwidth_reps(tb, options, point.mbps);
+  generator.stop();
+  return point;
+}
+
+MinFloodResult find_min_dos_flood_rate(const TestbedConfig& config,
+                                       const FloodSpec& flood,
+                                       const MeasurementOptions& options,
+                                       const MinFloodSearchOptions& search) {
+  MinFloodResult result;
+
+  // A single-repetition probe at one flood rate; also reports lockup.
+  auto probe = [&](double rate) {
+    sim::Simulation sim(options.seed);
+    Testbed tb(sim, config);
+    apps::IperfServer server(tb.target());
+    server.start();
+    tb.settle();
+
+    apps::FloodConfig fc;
+    fc.target = tb.addresses().target;
+    fc.target_port = kFloodPort;
+    fc.type = flood.type;
+    fc.rate_pps = rate;
+    fc.frame_size = flood.frame_size;
+    fc.spoof_source = flood.spoof_source;
+    apps::FloodGenerator generator(tb.attacker(), fc);
+    generator.start();
+    sim.run_for(options.flood_warmup);
+
+    apps::IperfClient client(tb.client(), tb.addresses().target);
+    std::optional<double> measured;
+    client.run(apps::IperfClient::Mode::kTcp, options.window,
+               [&](apps::IperfResult r) { measured = r.completed ? r.mbps : 0.0; });
+    sim.run_for(options.window + options.grace);
+    if (!measured) {
+      client.cancel();
+      sim.run_for(sim::Duration::milliseconds(1));
+    }
+    ++result.probes;
+    if (tb.target_firewall() != nullptr && tb.target_firewall()->locked_up()) {
+      result.lockup_observed = true;
+    }
+    return measured.value_or(0.0);
+  };
+
+  // Exponential ladder to bracket the DoS rate.
+  double lo = 0;  // highest rate known to still leave bandwidth
+  double hi = 0;  // lowest rate known to cause DoS
+  for (double rate = search.start_rate_pps; rate <= search.max_rate_pps;
+       rate *= search.growth) {
+    const double mbps = probe(rate);
+    if (mbps < search.dos_threshold_mbps) {
+      hi = rate;
+      break;
+    }
+    lo = rate;
+  }
+  if (hi == 0) return result;  // no DoS up to max rate
+  if (lo == 0) {
+    result.rate_pps = hi;  // DoS at the very first probe
+    return result;
+  }
+
+  // Bisect to the requested precision.
+  while (hi / lo > search.precision) {
+    const double mid = std::sqrt(lo * hi);  // geometric midpoint
+    if (probe(mid) < search.dos_threshold_mbps) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.rate_pps = hi;
+  return result;
+}
+
+HttpPoint measure_http_performance(const TestbedConfig& config,
+                                   const MeasurementOptions& options,
+                                   std::size_t page_bytes) {
+  sim::Simulation sim(options.seed);
+  Testbed tb(sim, config);
+  apps::HttpServer server(tb.target(), 80);
+  server.add_page("/", page_bytes);
+  server.start();
+  tb.settle();
+
+  apps::HttpLoadClient client(tb.client(), tb.addresses().target, 80, "/");
+  HttpPoint point;
+  bool done = false;
+  client.run(options.http_duration, [&](apps::HttpLoadResult r) {
+    point.fetches = r.fetches;
+    point.errors = r.errors;
+    point.fetches_per_sec = r.fetches_per_sec;
+    point.mean_connect_ms = r.mean_connect_ms;
+    point.mean_response_ms = r.mean_response_ms;
+    done = true;
+  });
+  sim.run_for(options.http_duration + options.grace);
+  if (!done) {
+    BARB_WARN("http experiment did not complete; reporting zeros");
+  }
+  return point;
+}
+
+}  // namespace barb::core

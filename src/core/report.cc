@@ -1,0 +1,75 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace barb::core {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BARB_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto csv_row = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      line += row[c];
+    }
+    line += "\n";
+    return line;
+  };
+  std::string out = csv_row(headers_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_int(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", value);
+  return buf;
+}
+
+}  // namespace barb::core

@@ -1,0 +1,28 @@
+// Result-table rendering for the benchmark binaries: aligned ASCII for the
+// console plus CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace barb::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision formatting helpers.
+std::string fmt(double value, int precision = 1);
+std::string fmt_int(double value);
+
+}  // namespace barb::core

@@ -1,0 +1,253 @@
+#include "core/testbed.h"
+
+#include "firewall/policy.h"
+#include "net/vpg_header.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace barb::core {
+
+namespace {
+
+// Shared deployment key authenticating policy-distribution traffic.
+const std::vector<std::uint8_t> kDeploymentKey(32, 0x5c);
+
+// Padding rules that can never match testbed traffic (the testbed lives in
+// 10.0.0.0/8; padding selectors sit in 192.168.0.0/16).
+std::string padding_rule(int i) {
+  return "deny tcp from 192.168." + std::to_string(i / 200) + "." +
+         std::to_string(i % 200 + 1) + " to 192.168.250.1\n";
+}
+
+std::string padding_vpg(int i) {
+  return "vpg " + std::to_string(100 + i) + " between 192.168.10." +
+         std::to_string(i % 250 + 1) + " and 192.168.20." +
+         std::to_string(i % 250 + 1) + "\n";
+}
+
+}  // namespace
+
+const char* to_string(FirewallKind kind) {
+  switch (kind) {
+    case FirewallKind::kNone: return "No Firewall";
+    case FirewallKind::kIptables: return "iptables";
+    case FirewallKind::kEfw: return "EFW";
+    case FirewallKind::kAdf: return "ADF";
+    case FirewallKind::kAdfVpg: return "ADF (VPG)";
+  }
+  return "?";
+}
+
+std::string make_target_policy(const TestbedConfig& config,
+                               const TestbedAddresses& addr) {
+  BARB_ASSERT(config.action_rule_depth >= 1);
+  std::string policy = "default deny\n";
+
+  if (config.firewall == FirewallKind::kAdfVpg) {
+    // Depth counts VPGs: (k-1) non-matching groups above the matching one.
+    for (int i = 1; i < config.action_rule_depth; ++i) policy += padding_vpg(i);
+    policy += "vpg " + std::to_string(kExperimentVpgId) + " between " +
+              addr.client.to_string() + " and " + addr.target.to_string() + "\n";
+    return policy;
+  }
+
+  if (config.deny_attacker_first) {
+    // Early-deny layout: the attacker's real address is blocked at rule 1;
+    // everything else (including spoofed flood packets) walks the padding
+    // to the catch-all at the configured depth.
+    policy += "deny any from " + addr.attacker.to_string() + " to " +
+              addr.target.to_string() + "\n";
+    for (int i = 2; i < config.action_rule_depth; ++i) policy += padding_rule(i);
+    policy += "allow any from any to any\n";
+    return policy;
+  }
+
+  for (int i = 1; i < config.action_rule_depth; ++i) policy += padding_rule(i);
+  if (config.flood_action == firewall::RuleAction::kDeny) {
+    // Action rule denies the attacker's traffic; legitimate traffic is
+    // admitted by the catch-all immediately after (rules past the action
+    // rule do not affect the flood, per the paper's observation).
+    policy += "deny any from " + addr.attacker.to_string() + " to " +
+              addr.target.to_string() + "\n";
+    policy += "allow any from any to any\n";
+  } else {
+    policy += "allow any from any to any\n";
+  }
+  return policy;
+}
+
+std::string make_client_vpg_policy(const TestbedAddresses& addr) {
+  return "default deny\nvpg " + std::to_string(kExperimentVpgId) + " between " +
+         addr.client.to_string() + " and " + addr.target.to_string() + "\n";
+}
+
+Testbed::Testbed(sim::Simulation& sim, const TestbedConfig& config)
+    : sim_(sim), config_(config) {
+  build_hosts();
+  install_policies();
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::build_hosts() {
+  switch_ = std::make_unique<link::Switch>(sim_, "switch");
+
+  const bool vpg = config_.firewall == FirewallKind::kAdfVpg;
+  stack::HostConfig default_cfg;
+  stack::HostConfig vpg_cfg;
+  // Leave headroom for VPG encapsulation so tunneled frames fit the MTU.
+  vpg_cfg.mss = static_cast<std::uint16_t>(default_cfg.mss - net::VpgHeader::kOverhead);
+
+  // The testbed switch (3C16734A class) has deep per-port buffering; a
+  // shallow egress queue would punish TCP under flood contention far more
+  // than the real testbed did.
+  link::LinkConfig link_cfg;
+  link_cfg.queue_bytes = 768 * 1024;
+  auto attach = [this, link_cfg](stack::Host& host) {
+    links_.push_back(std::make_unique<link::Link>(sim_, link_cfg));
+    host.nic().attach(links_.back()->a());
+    switch_->attach(links_.back()->b());
+  };
+
+  // Policy server host (the testbed's Windows 2000 box) and attacker use
+  // plain NICs.
+  policy_host_ = std::make_unique<stack::Host>(
+      sim_, "policy",
+      addr_.policy_server,
+      std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(10),
+                                           "policy/nic"),
+      default_cfg);
+  attacker_ = std::make_unique<stack::Host>(
+      sim_, "attacker", addr_.attacker,
+      std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(20),
+                                           "attacker/nic"),
+      default_cfg);
+
+  // Client: plain NIC except in VPG mode (both tunnel ends need an ADF).
+  if (vpg) {
+    auto nic = std::make_unique<firewall::FirewallNic>(
+        sim_, net::MacAddress::from_host_id(30), "client/adf",
+        config_.profile_override.value_or(firewall::adf_profile()));
+    client_fw_ = nic.get();
+    client_ = std::make_unique<stack::Host>(sim_, "client", addr_.client,
+                                            std::move(nic), vpg_cfg);
+  } else {
+    client_ = std::make_unique<stack::Host>(
+        sim_, "client", addr_.client,
+        std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(30),
+                                             "client/nic"),
+        default_cfg);
+  }
+
+  // Target: device under test.
+  switch (config_.firewall) {
+    case FirewallKind::kEfw:
+    case FirewallKind::kAdf:
+    case FirewallKind::kAdfVpg: {
+      auto profile = config_.firewall == FirewallKind::kEfw ? firewall::efw_profile()
+                                                            : firewall::adf_profile();
+      if (config_.profile_override) profile = *config_.profile_override;
+      auto nic = std::make_unique<firewall::FirewallNic>(
+          sim_, net::MacAddress::from_host_id(40), "target/" + profile.name, profile);
+      if (config_.flood_guard) nic->enable_flood_guard(*config_.flood_guard);
+      target_fw_ = nic.get();
+      target_ = std::make_unique<stack::Host>(sim_, "target", addr_.target,
+                                              std::move(nic), vpg ? vpg_cfg : default_cfg);
+      break;
+    }
+    case FirewallKind::kNone:
+    case FirewallKind::kIptables: {
+      target_ = std::make_unique<stack::Host>(
+          sim_, "target", addr_.target,
+          std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(40),
+                                               "target/nic"),
+          default_cfg);
+      break;
+    }
+  }
+
+  attach(*policy_host_);
+  attach(*attacker_);
+  attach(*client_);
+  attach(*target_);
+
+  // Static ARP everywhere (single switched subnet).
+  stack::Host* hosts[] = {policy_host_.get(), attacker_.get(), client_.get(),
+                          target_.get()};
+  for (auto* h1 : hosts) {
+    for (auto* h2 : hosts) {
+      if (h1 != h2) h1->arp().add(h2->ip(), h2->mac());
+    }
+  }
+}
+
+void Testbed::install_policies() {
+  target_policy_ = make_target_policy(config_, addr_);
+
+  if (config_.firewall == FirewallKind::kIptables) {
+    iptables_ = std::make_unique<firewall::SoftwareFirewall>(sim_);
+    auto parsed = firewall::parse_policy(target_policy_);
+    BARB_ASSERT_MSG(parsed.ok(), "generated iptables policy must parse");
+    iptables_->install_rule_set(std::move(*parsed.rule_set));
+    target_->set_packet_filter(iptables_.get());
+    return;
+  }
+  if (target_fw_ == nullptr) return;  // kNone
+
+  target_fw_->set_management_peer(addr_.policy_server);
+  if (client_fw_ != nullptr) client_fw_->set_management_peer(addr_.policy_server);
+
+  if (config_.use_policy_server) {
+    policy_server_ = std::make_unique<firewall::PolicyServer>(*policy_host_,
+                                                              kDeploymentKey);
+    policy_server_->start();
+    policy_server_->set_policy(addr_.target, target_policy_);
+    target_agent_ = std::make_unique<firewall::PolicyAgent>(
+        *target_, *target_fw_, addr_.policy_server, kDeploymentKey);
+    target_agent_->start();
+    if (config_.firewall == FirewallKind::kAdfVpg) {
+      policy_server_->set_policy(addr_.client, make_client_vpg_policy(addr_));
+      policy_server_->create_vpg(kExperimentVpgId, addr_.client, addr_.target);
+      client_agent_ = std::make_unique<firewall::PolicyAgent>(
+          *client_, *client_fw_, addr_.policy_server, kDeploymentKey);
+      client_agent_->start();
+    }
+    return;
+  }
+
+  // Direct installation (fast path for benches and unit tests).
+  auto parsed = firewall::parse_policy(target_policy_);
+  BARB_ASSERT_MSG(parsed.ok(), "generated target policy must parse");
+  target_fw_->install_rule_set(std::move(*parsed.rule_set));
+  if (config_.firewall == FirewallKind::kAdfVpg) {
+    auto client_parsed = firewall::parse_policy(make_client_vpg_policy(addr_));
+    BARB_ASSERT(client_parsed.ok());
+    client_fw_->install_rule_set(std::move(*client_parsed.rule_set));
+    std::vector<std::uint8_t> master(32);
+    for (auto& b : master) b = static_cast<std::uint8_t>(sim_.rng().next_u64());
+    target_fw_->vpg_table().install(kExperimentVpgId, master);
+    client_fw_->vpg_table().install(kExperimentVpgId, master);
+  }
+}
+
+void Testbed::settle() {
+  if (!config_.use_policy_server || target_fw_ == nullptr) return;
+  const std::uint64_t want_target = policy_server_->policy_version(addr_.target);
+  const std::uint64_t want_client =
+      client_agent_ ? policy_server_->policy_version(addr_.client) : 0;
+  for (int i = 0; i < 500; ++i) {
+    sim_.run_for(sim::Duration::milliseconds(10));
+    const auto& agents = policy_server_->agents();
+    const auto tit = agents.find(addr_.target);
+    const bool target_ok = tit != agents.end() && tit->second.acked_version >= want_target;
+    bool client_ok = true;
+    if (client_agent_) {
+      const auto cit = agents.find(addr_.client);
+      client_ok = cit != agents.end() && cit->second.acked_version >= want_client;
+    }
+    if (target_ok && client_ok) return;
+  }
+  BARB_WARN("testbed: policy distribution did not settle within 5s of sim time");
+}
+
+}  // namespace barb::core

@@ -1,0 +1,133 @@
+// The paper's Figure 1 testbed: policy server, attacker (flood generator),
+// client, and target on a 100 Mbps switch, with the device-under-test
+// firewall on the target (and, for VPG configurations, a matching ADF on
+// the client — both tunnel endpoints need a card).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "firewall/nic_firewall.h"
+#include "firewall/policy_agent.h"
+#include "firewall/policy_server.h"
+#include "firewall/software_firewall.h"
+#include "link/link.h"
+#include "link/switch.h"
+#include "sim/simulation.h"
+#include "stack/host.h"
+
+namespace barb::core {
+
+enum class FirewallKind {
+  kNone,      // standard NIC (Intel EEPro 100 baseline)
+  kIptables,  // host-resident software firewall
+  kEfw,       // 3Com Embedded Firewall model
+  kAdf,       // Adventium ADF model, plain rule-set
+  kAdfVpg,    // ADF with VPG tunnel between client and target
+};
+
+const char* to_string(FirewallKind kind);
+
+struct TestbedConfig {
+  FirewallKind firewall = FirewallKind::kNone;
+  // Rules traversed up to and including the action rule (the paper's
+  // "rule-set depth"). For kAdfVpg this counts VPGs, not rules.
+  int action_rule_depth = 1;
+  // Disposition of the attacker's flood traffic at the action rule. kAllow
+  // uses a single catch-all action rule; kDeny denies the flood at the
+  // action rule and allows everything else right after it.
+  firewall::RuleAction flood_action = firewall::RuleAction::kAllow;
+  // Places a deny-the-attacker rule FIRST (depth 1) with the catch-all
+  // allow still at action_rule_depth — the paper's "deny potential attack
+  // sources early" recommendation. A spoofing attacker sails past it.
+  bool deny_attacker_first = false;
+  // Distribute policy through the policy server + agents (slower to settle
+  // but exercises the real management path) instead of direct installation.
+  bool use_policy_server = false;
+  // Replaces the standard EFW/ADF device profile on the firewall NICs
+  // (ablation studies tweak cost-model parameters through this).
+  std::optional<firewall::DeviceProfile> profile_override;
+  // Enables the FloodGuard screening stage on the target's firewall NIC
+  // (the future-work extension; see firewall/flood_guard.h).
+  std::optional<firewall::FloodGuardConfig> flood_guard;
+  std::uint64_t seed = 1;
+};
+
+// Well-known testbed addresses.
+struct TestbedAddresses {
+  net::Ipv4Address policy_server{10, 0, 0, 10};
+  net::Ipv4Address attacker{10, 0, 0, 20};
+  net::Ipv4Address client{10, 0, 0, 30};
+  net::Ipv4Address target{10, 0, 0, 40};
+};
+
+// The well-known port the attacker floods (no listener on the target).
+constexpr std::uint16_t kFloodPort = 7777;
+constexpr std::uint32_t kExperimentVpgId = 1;
+
+class Testbed {
+ public:
+  Testbed(sim::Simulation& sim, const TestbedConfig& config);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  const TestbedConfig& config() const { return config_; }
+  const TestbedAddresses& addresses() const { return addr_; }
+
+  stack::Host& policy_host() { return *policy_host_; }
+  stack::Host& attacker() { return *attacker_; }
+  stack::Host& client() { return *client_; }
+  stack::Host& target() { return *target_; }
+  link::Switch& ethernet_switch() { return *switch_; }
+
+  // Device under test on the target host; null unless kEfw/kAdf/kAdfVpg.
+  firewall::FirewallNic* target_firewall() { return target_fw_; }
+  // Software firewall on the target; null unless kIptables.
+  firewall::SoftwareFirewall* software_firewall() { return iptables_.get(); }
+  firewall::PolicyServer* policy_server() { return policy_server_.get(); }
+  firewall::PolicyAgent* target_agent() { return target_agent_.get(); }
+
+  // Runs the simulation until policy is in place (policy-server mode) or
+  // returns immediately (direct mode). Call once before measurements.
+  void settle();
+
+  // The policy text installed on the target (for inspection/tests).
+  const std::string& target_policy_text() const { return target_policy_; }
+
+ private:
+  void build_hosts();
+  void install_policies();
+
+  sim::Simulation& sim_;
+  TestbedConfig config_;
+  TestbedAddresses addr_;
+
+  std::unique_ptr<link::Switch> switch_;
+  std::vector<std::unique_ptr<link::Link>> links_;
+  std::unique_ptr<stack::Host> policy_host_;
+  std::unique_ptr<stack::Host> attacker_;
+  std::unique_ptr<stack::Host> client_;
+  std::unique_ptr<stack::Host> target_;
+
+  firewall::FirewallNic* target_fw_ = nullptr;   // owned by target_
+  firewall::FirewallNic* client_fw_ = nullptr;   // owned by client_ (VPG only)
+  std::unique_ptr<firewall::SoftwareFirewall> iptables_;
+  std::unique_ptr<firewall::PolicyServer> policy_server_;
+  std::unique_ptr<firewall::PolicyAgent> target_agent_;
+  std::unique_ptr<firewall::PolicyAgent> client_agent_;
+
+  std::string target_policy_;
+};
+
+// Builds the target-side policy text for a given configuration (exposed for
+// tests and for the policy-generation example).
+std::string make_target_policy(const TestbedConfig& config, const TestbedAddresses& addr);
+// Client-side policy for VPG configurations (one matching VPG).
+std::string make_client_vpg_policy(const TestbedAddresses& addr);
+
+}  // namespace barb::core

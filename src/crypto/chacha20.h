@@ -1,0 +1,32 @@
+// ChaCha20 stream cipher (RFC 8439).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace barb::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  // Produces the keystream block for (key, nonce, counter).
+  static Block block(const Key& key, const Nonce& nonce, std::uint32_t counter);
+
+  // XORs `data` in place with the keystream starting at `counter`.
+  static void xor_stream(const Key& key, const Nonce& nonce, std::uint32_t counter,
+                         std::span<std::uint8_t> data);
+
+  // Exposed for unit testing against the RFC quarter-round vector.
+  static void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                            std::uint32_t& d);
+};
+
+}  // namespace barb::crypto

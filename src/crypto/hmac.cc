@@ -1,0 +1,50 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+#include <vector>
+
+namespace barb::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, Sha256::kBlockSize> k_block{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(k_block.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad, opad;
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+std::array<std::uint8_t, 32> derive_key(std::span<const std::uint8_t> master,
+                                        std::string_view label) {
+  std::vector<std::uint8_t> info(label.begin(), label.end());
+  info.push_back(0x01);
+  return hmac_sha256(master, info);
+}
+
+}  // namespace barb::crypto

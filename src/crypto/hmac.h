@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104) and HKDF-style key derivation.
+//
+// The policy-distribution protocol authenticates every message with
+// HMAC-SHA256 under a shared deployment key; VPG traffic keys are derived
+// from the VPG master key with derive_key().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace barb::crypto {
+
+Sha256::Digest hmac_sha256(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+// Constant-time equality; the length leak is fine because all our MAC/tag
+// lengths are public protocol constants.
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+// Derives a 32-byte subkey from a master key and a context label
+// (HKDF-expand-like: HMAC(master, label || 0x01)).
+std::array<std::uint8_t, 32> derive_key(std::span<const std::uint8_t> master,
+                                        std::string_view label);
+
+}  // namespace barb::crypto

@@ -1,0 +1,154 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+namespace barb::crypto {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Poly1305::Poly1305(const Key& key) {
+  // r is clamped per the RFC; stored as five 26-bit limbs.
+  r_[0] = load_le32(key.data() + 0) & 0x3ffffff;
+  r_[1] = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  r_[2] = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  r_[3] = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  r_[4] = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+  for (int i = 0; i < 4; ++i) pad_[i] = load_le32(key.data() + 16 + 4 * i);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, std::uint32_t hibit) {
+  const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+  h0 += load_le32(block + 0) & 0x3ffffff;
+  h1 += (load_le32(block + 3) >> 2) & 0x3ffffff;
+  h2 += (load_le32(block + 6) >> 4) & 0x3ffffff;
+  h3 += (load_le32(block + 9) >> 6) & 0x3ffffff;
+  h4 += (load_le32(block + 12) >> 8) | hibit;
+
+  using u64 = std::uint64_t;
+  u64 d0 = static_cast<u64>(h0) * r0 + static_cast<u64>(h1) * s4 +
+           static_cast<u64>(h2) * s3 + static_cast<u64>(h3) * s2 +
+           static_cast<u64>(h4) * s1;
+  u64 d1 = static_cast<u64>(h0) * r1 + static_cast<u64>(h1) * r0 +
+           static_cast<u64>(h2) * s4 + static_cast<u64>(h3) * s3 +
+           static_cast<u64>(h4) * s2;
+  u64 d2 = static_cast<u64>(h0) * r2 + static_cast<u64>(h1) * r1 +
+           static_cast<u64>(h2) * r0 + static_cast<u64>(h3) * s4 +
+           static_cast<u64>(h4) * s3;
+  u64 d3 = static_cast<u64>(h0) * r3 + static_cast<u64>(h1) * r2 +
+           static_cast<u64>(h2) * r1 + static_cast<u64>(h3) * r0 +
+           static_cast<u64>(h4) * s4;
+  u64 d4 = static_cast<u64>(h0) * r4 + static_cast<u64>(h1) * r3 +
+           static_cast<u64>(h2) * r2 + static_cast<u64>(h3) * r1 +
+           static_cast<u64>(h4) * r0;
+
+  std::uint32_t c;
+  c = static_cast<std::uint32_t>(d0 >> 26); h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+  d1 += c;
+  c = static_cast<std::uint32_t>(d1 >> 26); h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+  d2 += c;
+  c = static_cast<std::uint32_t>(d2 >> 26); h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+  d3 += c;
+  c = static_cast<std::uint32_t>(d3 >> 26); h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+  d4 += c;
+  c = static_cast<std::uint32_t>(d4 >> 26); h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff;
+  h1 += c;
+
+  h_[0] = h0; h_[1] = h1; h_[2] = h2; h_[3] = h3; h_[4] = h4;
+}
+
+void Poly1305::update(std::span<const std::uint8_t> data) {
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(std::size_t{16} - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 16) {
+      process_block(buffer_.data(), std::uint32_t{1} << 24);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 16 <= data.size()) {
+    process_block(data.data() + offset, std::uint32_t{1} << 24);
+    offset += 16;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+Poly1305::Tag Poly1305::finalize() {
+  if (buffer_len_ > 0) {
+    // Final partial block: append 0x01 then zero-pad; high bit not set.
+    std::uint8_t block[16] = {};
+    std::memcpy(block, buffer_.data(), buffer_len_);
+    block[buffer_len_] = 1;
+    process_block(block, 0);
+    buffer_len_ = 0;
+  }
+
+  // Full carry propagation.
+  std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+  std::uint32_t c;
+  c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+
+  // Compute h + -p and select it if h >= p.
+  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (std::uint32_t{1} << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h %= 2^128, then tag = (h + pad) mod 2^128 in little-endian.
+  const std::uint32_t t0 = h0 | (h1 << 26);
+  const std::uint32_t t1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t t2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t t3 = (h3 >> 18) | (h4 << 8);
+
+  std::uint64_t f;
+  std::uint32_t out32[4];
+  f = static_cast<std::uint64_t>(t0) + pad_[0];
+  out32[0] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(t1) + pad_[1] + (f >> 32);
+  out32[1] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(t2) + pad_[2] + (f >> 32);
+  out32[2] = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(t3) + pad_[3] + (f >> 32);
+  out32[3] = static_cast<std::uint32_t>(f);
+
+  Tag tag;
+  for (int i = 0; i < 4; ++i) {
+    tag[4 * static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(out32[i]);
+    tag[4 * static_cast<std::size_t>(i) + 1] = static_cast<std::uint8_t>(out32[i] >> 8);
+    tag[4 * static_cast<std::size_t>(i) + 2] = static_cast<std::uint8_t>(out32[i] >> 16);
+    tag[4 * static_cast<std::size_t>(i) + 3] = static_cast<std::uint8_t>(out32[i] >> 24);
+  }
+  return tag;
+}
+
+}  // namespace barb::crypto

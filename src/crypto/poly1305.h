@@ -1,0 +1,40 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace barb::crypto {
+
+class Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kTagSize = 16;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Tag = std::array<std::uint8_t, kTagSize>;
+
+  explicit Poly1305(const Key& key);
+
+  void update(std::span<const std::uint8_t> data);
+  Tag finalize();
+
+  static Tag mac(const Key& key, std::span<const std::uint8_t> data) {
+    Poly1305 p(key);
+    p.update(data);
+    return p.finalize();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block, std::uint32_t hibit);
+
+  // 26-bit limb representation (poly1305-donna style).
+  std::uint32_t r_[5];
+  std::uint32_t h_[5] = {};
+  std::uint32_t pad_[4];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace barb::crypto

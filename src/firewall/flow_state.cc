@@ -1,0 +1,48 @@
+#include "firewall/flow_state.h"
+
+namespace barb::firewall {
+
+bool FlowStateTable::lookup(const net::FiveTuple& tuple, sim::TimePoint now) {
+  const auto key = canonical(tuple);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (now - it->second.last_seen > config_.idle_timeout) {
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return false;
+  }
+  it->second.last_seen = now;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  ++stats_.hits;
+  return true;
+}
+
+void FlowStateTable::insert(const net::FiveTuple& tuple, sim::TimePoint now) {
+  const auto key = canonical(tuple);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.last_seen = now;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return;
+  }
+  if (entries_.size() >= config_.max_entries) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{now, lru_.begin()});
+  ++stats_.inserts;
+}
+
+void FlowStateTable::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace barb::firewall

@@ -1,0 +1,242 @@
+#include "firewall/nic_firewall.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace barb::firewall {
+
+FirewallNic::FirewallNic(sim::Simulation& sim, net::MacAddress mac, std::string name,
+                         DeviceProfile profile)
+    : Nic(sim, mac, std::move(name)), profile_(std::move(profile)) {
+  // An unconfigured card passes traffic (the paper's "default allow all").
+  rules_.set_default_action(RuleAction::kAllow);
+}
+
+void FirewallNic::restart() {
+  flow_states_.clear();
+  locked_ = false;
+  deny_window_count_ = 0;
+  deny_window_start_ = sim_.now();
+  // A restart resets the card: in-flight and queued frames are lost.
+  queue_.clear();
+  rx_buffered_bytes_ = 0;
+  tx_buffered_bytes_ = 0;
+  // Invalidate the in-service frame's pending completion event.
+  ++service_epoch_;
+  busy_ = false;
+}
+
+void FirewallNic::transmit(net::Packet pkt) {
+  ++stats_.tx_requested;
+  enqueue(Job{std::move(pkt), /*inbound=*/false});
+}
+
+void FirewallNic::deliver(net::Packet pkt) {
+  ++stats_.rx_frames;
+  if (!addressed_to_us(pkt)) {
+    ++stats_.rx_dropped;
+    return;
+  }
+  enqueue(Job{std::move(pkt), /*inbound=*/true});
+}
+
+void FirewallNic::enqueue(Job job) {
+  if (locked_) {
+    ++fwstats_.lockup_drops;
+    ++(job.inbound ? stats_.rx_dropped : stats_.tx_dropped);
+    return;
+  }
+  // Every arrival costs the embedded CPU descriptor handling, even if the
+  // frame is then dropped (receive livelock).
+  pending_overhead_ += profile_.arrival_overhead;
+
+  // FloodGuard screening (inbound only): cheap per-frame cost, drops
+  // over-rate traffic before it can occupy the buffer or the rule walk.
+  if (job.inbound && guard_.config().enabled) {
+    pending_overhead_ += guard_.config().screen_cost;
+    auto view = net::FrameView::parse(job.pkt.bytes());
+    if (view && !is_management_frame(*view) && !guard_.admit(*view, sim_.now())) {
+      ++stats_.rx_dropped;
+      return;
+    }
+  }
+
+  auto& buffered = job.inbound ? rx_buffered_bytes_ : tx_buffered_bytes_;
+  const std::size_t capacity =
+      job.inbound ? profile_.rx_buffer_bytes : profile_.tx_buffer_bytes;
+  if (buffered + job.pkt.size() > capacity) {
+    if (job.inbound && job.pkt.size() > 500) ++fwstats_.rx_ring_drops_large;
+    ++(job.inbound ? fwstats_.rx_ring_drops : fwstats_.tx_ring_drops);
+    ++(job.inbound ? stats_.rx_dropped : stats_.tx_dropped);
+    return;
+  }
+  buffered += job.pkt.size();
+  queue_.push_back(std::move(job));
+  if (!busy_) start_next();
+}
+
+void FirewallNic::start_next() {
+  if (busy_ || queue_.empty() || locked_) return;
+  busy_ = true;
+
+  // The embedded CPU picks the frame up: decide its fate and how long the
+  // decision takes, in one pass over the rule-set.
+  Job& job = queue_.front();
+  sim::Duration service =
+      profile_.fixed + pending_overhead_ +
+      profile_.per_byte * static_cast<std::int64_t>(job.pkt.size());
+  pending_overhead_ = sim::Duration::zero();
+  auto view = net::FrameView::parse(job.pkt.bytes());
+  job.parsed = view.has_value();
+  job.management = view && is_management_frame(*view);
+  job.action = RuleAction::kAllow;
+  if (view && !job.management) {
+    const auto tuple = view->five_tuple();
+    bool state_hit = false;
+    if (profile_.stateful && tuple && !view->vpg) {
+      service += profile_.state_lookup;
+      state_hit = flow_states_.lookup(*tuple, sim_.now());
+    }
+    if (!state_hit) {
+      const MatchResult mr = rules_.match(*view);
+      service += profile_.per_rule * static_cast<std::int64_t>(mr.rules_traversed);
+      job.action = mr.action;
+      job.vpg_id = mr.vpg_id;
+      if (mr.action == RuleAction::kVpg) {
+        // Crypto runs over the sealed payload: the existing sealed bytes for
+        // inbound VPG frames, payload + AEAD tag for outbound.
+        const std::size_t crypto_bytes =
+            view->vpg ? view->l4_payload.size()
+                      : view->l3_payload.size() + crypto::Aead::kTagSize;
+        const sim::Duration one_pass =
+            profile_.vpg_setup +
+            profile_.vpg_per_byte * static_cast<std::int64_t>(crypto_bytes);
+        // Decrypt-always ablation: a naive matcher attempts decryption at
+        // every VPG rule it walks past, not just the matching one.
+        const int passes = (profile_.vpg_decrypt_always && view->vpg)
+                               ? std::max(1, mr.vpg_rules_traversed)
+                               : 1;
+        service += one_pass * static_cast<std::int64_t>(passes);
+      }
+      if (profile_.stateful && tuple && !view->vpg &&
+          mr.action == RuleAction::kAllow) {
+        flow_states_.insert(*tuple, sim_.now());
+      }
+    }
+  }
+
+  if (profile_.service_jitter > 0) {
+    service = service * (1.0 + profile_.service_jitter *
+                                   sim_.rng().uniform_real(-1.0, 1.0));
+  }
+
+  fwstats_.cpu_busy += service;
+  sim_.schedule(service, [this, epoch = service_epoch_] {
+    if (epoch != service_epoch_) return;  // card was restarted mid-service
+    busy_ = false;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    (job.inbound ? rx_buffered_bytes_ : tx_buffered_bytes_) -= job.pkt.size();
+    finish(std::move(job));
+    start_next();
+  });
+}
+
+void FirewallNic::finish(Job job) {
+  ++fwstats_.frames_processed;
+  if (!job.parsed) {
+    // Unparseable garbage is dropped after the base processing cost.
+    ++(job.inbound ? stats_.rx_dropped : stats_.tx_dropped);
+    return;
+  }
+  if (job.management) {
+    if (job.inbound) {
+      ++fwstats_.rx_allowed;
+      deliver_to_host(std::move(job.pkt));
+    } else {
+      ++fwstats_.tx_allowed;
+      send_to_wire(std::move(job.pkt));
+    }
+    return;
+  }
+
+  if (job.inbound) {
+    switch (job.action) {
+      case RuleAction::kAllow:
+        ++fwstats_.rx_allowed;
+        deliver_to_host(std::move(job.pkt));
+        return;
+      case RuleAction::kVpg:
+        // decapsulate() rejects non-VPG frames, bad auth, and replays.
+        if (vpgs_.decapsulate(job.pkt.data)) {
+          ++fwstats_.rx_allowed;
+          deliver_to_host(std::move(job.pkt));
+        } else {
+          // Cleartext traffic matching a VPG selector, or failed auth:
+          // policy requires the tunnel, so the frame dies here.
+          ++fwstats_.vpg_drops;
+          ++stats_.rx_dropped;
+        }
+        return;
+      case RuleAction::kDeny:
+        ++fwstats_.rx_denied;
+        ++stats_.rx_dropped;
+        note_inbound_deny();
+        return;
+    }
+    return;
+  }
+
+  switch (job.action) {
+    case RuleAction::kAllow:
+      ++fwstats_.tx_allowed;
+      send_to_wire(std::move(job.pkt));
+      return;
+    case RuleAction::kVpg:
+      if (vpgs_.encapsulate(job.vpg_id, job.pkt.data)) {
+        ++fwstats_.tx_allowed;
+        send_to_wire(std::move(job.pkt));
+      } else {
+        ++fwstats_.vpg_drops;
+        ++stats_.tx_dropped;
+      }
+      return;
+    case RuleAction::kDeny:
+      ++fwstats_.tx_denied;
+      ++stats_.tx_dropped;
+      return;
+  }
+}
+
+void FirewallNic::reconfigure_guard() {
+  if (!guard_.config().enabled) return;
+  // The card knows its own minimum-frame rule-walk cost; the guard scales
+  // admission so admitted traffic cannot saturate the embedded CPU.
+  const sim::Duration walk =
+      profile_.arrival_overhead + profile_.fixed + profile_.per_byte * 60 +
+      profile_.per_rule * rules_.total_cost_units();
+  guard_.reconfigure_for_capacity(1.0 / walk.to_seconds());
+}
+
+bool FirewallNic::is_management_frame(const net::FrameView& view) const {
+  if (!management_peer_ || !view.ip) return false;
+  return view.ip->src == *management_peer_ || view.ip->dst == *management_peer_;
+}
+
+void FirewallNic::note_inbound_deny() {
+  if (profile_.lockup_denies_per_sec == 0) return;
+  const auto now = sim_.now();
+  if (now - deny_window_start_ >= sim::Duration::seconds(1)) {
+    deny_window_start_ = now;
+    deny_window_count_ = 0;
+  }
+  if (++deny_window_count_ > profile_.lockup_denies_per_sec) {
+    locked_ = true;
+    BARB_WARN("%s: deny-path lockup latched at %s (denied %llu frames within 1s)",
+              name_.c_str(), now.to_string().c_str(),
+              static_cast<unsigned long long>(deny_window_count_));
+  }
+}
+
+}  // namespace barb::firewall

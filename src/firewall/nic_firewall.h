@@ -1,0 +1,124 @@
+// NIC-resident firewall model (EFW / ADF).
+//
+// Both directions of traffic are serviced by one embedded processor working
+// through finite RX/TX descriptor rings. Service time follows the calibrated
+// DeviceProfile cost model; frames that arrive while the rings are full are
+// dropped — that queue, not the wire, is the bottleneck the paper's flood
+// attacks saturate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "firewall/flood_guard.h"
+#include "firewall/flow_state.h"
+#include "firewall/profiles.h"
+#include "firewall/rule_set.h"
+#include "firewall/vpg.h"
+#include "stack/nic.h"
+
+namespace barb::firewall {
+
+struct FirewallNicStats {
+  std::uint64_t rx_ring_drops = 0;
+  std::uint64_t rx_ring_drops_large = 0;  // subset of rx_ring_drops, frames > 500 B
+  std::uint64_t tx_ring_drops = 0;
+  std::uint64_t rx_allowed = 0;
+  std::uint64_t rx_denied = 0;
+  std::uint64_t tx_allowed = 0;
+  std::uint64_t tx_denied = 0;
+  std::uint64_t vpg_drops = 0;     // failed encap/decap (auth, replay, oversize)
+  std::uint64_t lockup_drops = 0;  // frames discarded while latched
+  std::uint64_t frames_processed = 0;
+  sim::Duration cpu_busy;          // accumulated embedded-CPU service time
+};
+
+class FirewallNic : public stack::Nic {
+ public:
+  FirewallNic(sim::Simulation& sim, net::MacAddress mac, std::string name,
+              DeviceProfile profile);
+
+  // Policy installation (normally via the PolicyAgent). The default policy
+  // is an empty rule-set with default-allow, i.e. an unconfigured card.
+  void install_rule_set(RuleSet rules) {
+    rules_ = std::move(rules);
+    flow_states_.clear();  // old verdicts may no longer be valid
+    reconfigure_guard();
+  }
+
+  // Enables the FloodGuard screening stage (the paper's hoped-for
+  // flood-tolerant design; see flood_guard.h). Screening runs before the
+  // rule walk on inbound frames at near-arrival cost.
+  void enable_flood_guard(FloodGuardConfig config) {
+    config.enabled = true;
+    guard_ = FloodGuard(config);
+    reconfigure_guard();
+  }
+  const FloodGuard& flood_guard() const { return guard_; }
+
+  // Management exemption: traffic to/from the policy server bypasses the
+  // rule walk (base cost only), mirroring the EFW's implicit always-allow
+  // for policy-server communication — without it, a deny-by-default policy
+  // would cut the card off from its own management channel.
+  void set_management_peer(net::Ipv4Address ip) { management_peer_ = ip; }
+  const RuleSet& rule_set() const { return rules_; }
+  VpgTable& vpg_table() { return vpgs_; }
+
+  const DeviceProfile& profile() const { return profile_; }
+  const FirewallNicStats& fw_stats() const { return fwstats_; }
+  const FlowStateTable& flow_states() const { return flow_states_; }
+  bool locked_up() const { return locked_; }
+
+  // Firewall-agent restart: clears the lockup latch and flushes the rings.
+  // This is the paper's observed recovery procedure for the EFW deny-flood
+  // failure ("restarting the firewall agent software restored
+  // functionality").
+  void restart();
+
+  // Host -> wire.
+  void transmit(net::Packet pkt) override;
+  // Wire -> host.
+  void deliver(net::Packet pkt) override;
+
+ private:
+  struct Job {
+    net::Packet pkt;
+    bool inbound;
+    // Verdict, decided when the embedded CPU picks the frame up.
+    RuleAction action = RuleAction::kDeny;
+    std::uint32_t vpg_id = 0;
+    bool parsed = false;
+    bool management = false;
+  };
+
+  void enqueue(Job job);
+  void start_next();
+  void finish(Job job);
+  void note_inbound_deny();
+
+  bool is_management_frame(const net::FrameView& view) const;
+  void reconfigure_guard();
+
+  DeviceProfile profile_;
+  RuleSet rules_;
+  VpgTable vpgs_;
+  FloodGuard guard_{FloodGuardConfig{}};  // disabled by default
+  FlowStateTable flow_states_;            // used when profile_.stateful
+  std::optional<net::Ipv4Address> management_peer_;
+
+  std::deque<Job> queue_;  // FIFO across both buffers (one CPU services both)
+  std::size_t rx_buffered_bytes_ = 0;
+  std::size_t tx_buffered_bytes_ = 0;
+  bool busy_ = false;
+  bool locked_ = false;
+  std::uint64_t service_epoch_ = 0;  // invalidates in-flight service on restart
+
+  sim::Duration pending_overhead_;  // accrued arrival costs awaiting the CPU
+  sim::TimePoint deny_window_start_;
+  std::uint64_t deny_window_count_ = 0;
+
+  FirewallNicStats fwstats_;
+};
+
+}  // namespace barb::firewall

@@ -1,0 +1,62 @@
+// Firewall agent: host-side daemon that enrolls with the policy server,
+// applies pushed policies to the local FirewallNic, heartbeats the card's
+// health (including the lockup latch), and executes restart commands.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "firewall/nic_firewall.h"
+#include "firewall/policy.h"
+#include "firewall/policy_protocol.h"
+#include "stack/host.h"
+#include "stack/tcp.h"
+
+namespace barb::firewall {
+
+struct PolicyAgentStats {
+  std::uint64_t policies_applied = 0;
+  std::uint64_t policy_errors = 0;
+  std::uint64_t restarts_executed = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t last_version = 0;
+};
+
+class PolicyAgent {
+ public:
+  PolicyAgent(stack::Host& host, FirewallNic& nic, net::Ipv4Address server_ip,
+              std::span<const std::uint8_t> deployment_key,
+              std::uint16_t server_port = 3456);
+
+  void start();
+
+  const PolicyAgentStats& stats() const { return stats_; }
+  bool connected() const { return conn_ != nullptr; }
+
+  sim::Duration heartbeat_interval = sim::Duration::seconds(1);
+  sim::Duration reconnect_delay = sim::Duration::seconds(2);
+
+ private:
+  void connect();
+  void on_message(const PolicyMessage& msg);
+  void apply_policy(const std::string& body);
+  void send(PolicyMsgType type, std::string body);
+  void schedule_heartbeat();
+
+  stack::Host& host_;
+  FirewallNic& nic_;
+  net::Ipv4Address server_ip_;
+  std::uint16_t server_port_;
+  std::vector<std::uint8_t> key_;
+
+  std::shared_ptr<stack::TcpConnection> conn_;
+  PolicyMessageReader reader_;
+  std::uint64_t next_seq_ = 1;
+  sim::EventHandle heartbeat_timer_;
+  sim::EventHandle reconnect_timer_;
+  PolicyAgentStats stats_;
+};
+
+}  // namespace barb::firewall

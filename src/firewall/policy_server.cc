@@ -1,0 +1,160 @@
+#include "firewall/policy_server.h"
+
+#include <algorithm>
+
+#include "util/byte_io.h"
+#include "util/logging.h"
+
+namespace barb::firewall {
+
+struct PolicyServer::Session {
+  std::shared_ptr<stack::TcpConnection> conn;
+  PolicyMessageReader reader;
+  net::Ipv4Address agent;  // set after hello
+  bool identified = false;
+};
+
+PolicyServer::PolicyServer(stack::Host& host, std::span<const std::uint8_t> deployment_key,
+                           std::uint16_t port)
+    : host_(host), key_(deployment_key.begin(), deployment_key.end()), port_(port) {}
+
+PolicyServer::~PolicyServer() = default;
+
+void PolicyServer::start() {
+  host_.tcp_listen(port_, [this](std::shared_ptr<stack::TcpConnection> conn) {
+    auto session = std::make_shared<Session>();
+    session->conn = conn;
+    pending_.push_back(session);
+    conn->on_data = [this, session](std::span<const std::uint8_t> data) {
+      session->reader.append(data);
+      while (auto msg = session->reader.next(key_)) {
+        handle_message(*session, *msg);
+      }
+      if (session->reader.corrupted()) {
+        BARB_WARN("policy server: corrupted stream from %s, dropping",
+                  session->agent.to_string().c_str());
+        session->conn->abort();
+      }
+    };
+    conn->on_closed = [this, session] {
+      if (session->identified) {
+        agents_[session->agent].connected = false;
+        sessions_.erase(session->agent);
+      }
+      std::erase(pending_, session);
+    };
+  });
+}
+
+std::uint64_t PolicyServer::policy_version(net::Ipv4Address agent) const {
+  auto it = policies_.find(agent);
+  return it == policies_.end() ? 0 : it->second.version;
+}
+
+void PolicyServer::set_policy(net::Ipv4Address agent, std::string policy_text) {
+  auto& entry = policies_[agent];
+  entry.text = std::move(policy_text);
+  ++entry.version;
+  push_policy(agent);
+}
+
+void PolicyServer::create_vpg(std::uint32_t vpg_id,
+                              std::span<const net::Ipv4Address> members) {
+  std::vector<std::uint8_t> master(32);
+  for (auto& byte : master) {
+    byte = static_cast<std::uint8_t>(host_.simulation().rng().next_u64());
+  }
+  for (const auto& agent : members) {
+    auto& entry = policies_[agent];
+    // Replace any existing key for this VPG id.
+    std::erase_if(entry.keys, [vpg_id](const VpgKeyEntry& k) { return k.vpg_id == vpg_id; });
+    entry.keys.push_back(VpgKeyEntry{vpg_id, master});
+    ++entry.version;
+    push_policy(agent);
+  }
+}
+
+void PolicyServer::command_restart(net::Ipv4Address agent) {
+  PolicyMessage msg;
+  msg.type = PolicyMsgType::kRestart;
+  msg.seq = next_seq_++;
+  send_to(agent, msg);
+}
+
+std::string PolicyServer::render_policy_body(net::Ipv4Address agent) {
+  const auto& entry = policies_[agent];
+  std::string body = "version " + std::to_string(entry.version) + "\n";
+  body += entry.text;
+  if (!body.ends_with('\n')) body += "\n";
+  for (const auto& k : entry.keys) {
+    body += "vpgkey " + std::to_string(k.vpg_id) + " " + to_hex(k.master_key) + "\n";
+  }
+  return body;
+}
+
+void PolicyServer::push_policy(net::Ipv4Address agent) {
+  auto sit = sessions_.find(agent);
+  if (sit == sessions_.end()) return;  // will be pushed on connect
+  PolicyMessage msg;
+  msg.type = PolicyMsgType::kPolicyUpdate;
+  msg.seq = next_seq_++;
+  msg.body = render_policy_body(agent);
+  send_to(agent, msg);
+  agents_[agent].pushed_version = policies_[agent].version;
+}
+
+void PolicyServer::send_to(net::Ipv4Address agent, const PolicyMessage& msg) {
+  auto sit = sessions_.find(agent);
+  if (sit == sessions_.end()) return;
+  const auto bytes = encode_policy_message(msg, key_);
+  sit->second->conn->send(bytes);
+}
+
+void PolicyServer::handle_message(Session& session, const PolicyMessage& msg) {
+  switch (msg.type) {
+    case PolicyMsgType::kHello: {
+      // body: "host <ip>"
+      const auto pos = msg.body.find("host ");
+      if (pos != 0) return;
+      auto ip = net::Ipv4Address::parse(
+          std::string_view(msg.body).substr(5, msg.body.find_first_of(" \n", 5) - 5));
+      if (!ip) return;
+      session.identified = true;
+      session.agent = *ip;
+      // Adopt the session (replacing any stale one).
+      for (auto& p : pending_) {
+        if (p.get() == &session) {
+          sessions_[*ip] = p;
+          std::erase(pending_, p);
+          break;
+        }
+      }
+      auto& status = agents_[*ip];
+      status.connected = true;
+      status.last_heartbeat = host_.simulation().now();
+      if (policies_.contains(*ip)) push_policy(*ip);
+      break;
+    }
+    case PolicyMsgType::kAck: {
+      if (!session.identified) return;
+      std::uint64_t version = 0;
+      if (std::sscanf(msg.body.c_str(), "version %llu",
+                      reinterpret_cast<unsigned long long*>(&version)) == 1) {
+        agents_[session.agent].acked_version = version;
+      }
+      break;
+    }
+    case PolicyMsgType::kHeartbeat: {
+      if (!session.identified) return;
+      auto& status = agents_[session.agent];
+      status.last_heartbeat = host_.simulation().now();
+      ++status.heartbeats;
+      status.reported_locked = msg.body.find("status locked") != std::string::npos;
+      break;
+    }
+    default:
+      break;  // agents do not send server-bound types
+  }
+}
+
+}  // namespace barb::firewall

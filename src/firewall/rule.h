@@ -1,0 +1,72 @@
+// Firewall rules.
+//
+// EFW/ADF rule-sets are ordered first-match lists evaluated linearly on the
+// NIC's embedded processor — which is exactly why rule-set depth costs
+// bandwidth in the paper. A VPG rule is "the pair of rules that fully define
+// one VPG" and therefore counts as two traversal units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/five_tuple.h"
+#include "net/ipv4_address.h"
+
+namespace barb::firewall {
+
+enum class RuleAction : std::uint8_t {
+  kAllow,
+  kDeny,
+  kVpg,  // tunnel matching traffic through the identified VPG
+};
+
+const char* to_string(RuleAction action);
+
+struct PortRange {
+  std::uint16_t lo = 0;  // 0..0 means "any"
+  std::uint16_t hi = 0;
+
+  bool any() const { return lo == 0 && hi == 0; }
+  bool contains(std::uint16_t port) const {
+    return any() || (port >= lo && port <= hi);
+  }
+  bool operator==(const PortRange&) const = default;
+};
+
+struct Rule {
+  RuleAction action = RuleAction::kDeny;
+  std::uint8_t protocol = 0;  // IP protocol; 0 = any
+  net::Ipv4Address src_net;
+  int src_prefix = 0;  // 0 = any
+  net::Ipv4Address dst_net;
+  int dst_prefix = 0;
+  PortRange src_ports;
+  PortRange dst_ports;
+  // Host-resident firewalls see both directions of a conversation; the
+  // EFW/ADF policy tools generate symmetric rules, which we model with one
+  // bidirectional rule.
+  bool bidirectional = true;
+  std::uint32_t vpg_id = 0;  // meaningful when action == kVpg
+
+  // Traversal cost in "rule units" (a VPG is a rule pair).
+  int cost_units() const { return action == RuleAction::kVpg ? 2 : 1; }
+
+  bool matches(const net::FiveTuple& t) const {
+    if (matches_directed(t)) return true;
+    return bidirectional && matches_directed(t.reversed());
+  }
+
+  std::string to_string() const;
+
+ private:
+  bool matches_directed(const net::FiveTuple& t) const {
+    if (protocol != 0 && protocol != t.protocol) return false;
+    if (src_prefix > 0 && !t.src.in_subnet(src_net, src_prefix)) return false;
+    if (dst_prefix > 0 && !t.dst.in_subnet(dst_net, dst_prefix)) return false;
+    if (!src_ports.contains(t.src_port)) return false;
+    if (!dst_ports.contains(t.dst_port)) return false;
+    return true;
+  }
+};
+
+}  // namespace barb::firewall

@@ -1,0 +1,132 @@
+#include "firewall/rule_set.h"
+
+#include <cstdio>
+
+namespace barb::firewall {
+
+const char* to_string(RuleAction action) {
+  switch (action) {
+    case RuleAction::kAllow: return "allow";
+    case RuleAction::kDeny: return "deny";
+    case RuleAction::kVpg: return "vpg";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string port_range_string(const PortRange& p) {
+  if (p.any()) return "";
+  char buf[32];
+  if (p.lo == p.hi) {
+    std::snprintf(buf, sizeof(buf), " port %u", p.lo);
+  } else {
+    std::snprintf(buf, sizeof(buf), " port %u-%u", p.lo, p.hi);
+  }
+  return buf;
+}
+
+std::string endpoint_string(net::Ipv4Address net, int prefix, const PortRange& ports) {
+  std::string s;
+  if (prefix == 0) {
+    s = "any";
+  } else {
+    s = net.to_string();
+    if (prefix != 32) s += "/" + std::to_string(prefix);
+  }
+  return s + port_range_string(ports);
+}
+
+const char* protocol_name(std::uint8_t protocol) {
+  switch (protocol) {
+    case 0: return "any";
+    case 1: return "icmp";
+    case 6: return "tcp";
+    case 17: return "udp";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  if (action == RuleAction::kVpg) {
+    std::string s = "vpg " + std::to_string(vpg_id) + " between " +
+                    endpoint_string(src_net, src_prefix, src_ports) + " and " +
+                    endpoint_string(dst_net, dst_prefix, dst_ports);
+    return s;
+  }
+  std::string s = firewall::to_string(action);
+  s += " ";
+  if (const char* name = protocol_name(protocol)) {
+    s += name;
+  } else {
+    s += "proto" + std::to_string(protocol);
+  }
+  s += " from " + endpoint_string(src_net, src_prefix, src_ports);
+  s += " to " + endpoint_string(dst_net, dst_prefix, dst_ports);
+  if (!bidirectional) s += " oneway";
+  return s;
+}
+
+MatchResult RuleSet::match(const net::FrameView& v) const {
+  MatchResult result;
+  result.rules_traversed = 0;
+
+  const bool is_vpg_frame = v.vpg.has_value();
+  const auto tuple = v.five_tuple();
+
+  int index = 0;
+  for (const auto& rule : rules_) {
+    result.rules_traversed += rule.cost_units();
+    if (rule.action == RuleAction::kVpg) ++result.vpg_rules_traversed;
+    bool hit = false;
+    if (is_vpg_frame) {
+      hit = rule.action == RuleAction::kVpg && rule.vpg_id == v.vpg->vpg_id;
+    } else if (tuple) {
+      hit = rule.matches(*tuple);
+    }
+    if (hit) {
+      result.action = rule.action;
+      result.vpg_id = rule.vpg_id;
+      result.matched_index = index;
+      return result;
+    }
+    ++index;
+  }
+  result.action = default_action_;
+  result.matched_index = -1;
+  return result;
+}
+
+MatchResult RuleSet::match(const net::FiveTuple& t) const {
+  MatchResult result;
+  int index = 0;
+  for (const auto& rule : rules_) {
+    result.rules_traversed += rule.cost_units();
+    if (rule.action == RuleAction::kVpg) ++result.vpg_rules_traversed;
+    if (rule.matches(t)) {
+      result.action = rule.action;
+      result.vpg_id = rule.vpg_id;
+      result.matched_index = index;
+      return result;
+    }
+    ++index;
+  }
+  result.action = default_action_;
+  result.matched_index = -1;
+  return result;
+}
+
+std::string RuleSet::to_string() const {
+  std::string s = "default ";
+  s += firewall::to_string(default_action_);
+  s += "\n";
+  for (const auto& rule : rules_) {
+    s += rule.to_string();
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace barb::firewall

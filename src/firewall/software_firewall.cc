@@ -1,0 +1,55 @@
+#include "firewall/software_firewall.h"
+
+#include <utility>
+
+namespace barb::firewall {
+
+SoftwareFirewall::SoftwareFirewall(sim::Simulation& sim, SoftwareFirewallConfig config)
+    : sim_(sim), config_(config) {
+  rules_.set_default_action(RuleAction::kAllow);
+}
+
+void SoftwareFirewall::filter(stack::FilterDirection /*direction*/, net::Packet pkt,
+                              Resume resume) {
+  if (queue_.size() >= config_.backlog) {
+    ++stats_.backlog_drops;
+    return;
+  }
+  queue_.push_back(Job{std::move(pkt), std::move(resume)});
+  if (!busy_) start_next();
+}
+
+void SoftwareFirewall::start_next() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+
+  const Job& job = queue_.front();
+  sim::Duration service = config_.per_packet;
+  auto view = net::FrameView::parse(job.pkt.bytes());
+  MatchResult mr;
+  mr.action = RuleAction::kAllow;
+  if (view) {
+    mr = rules_.match(*view);
+    service = config_.per_packet +
+              config_.per_rule * static_cast<std::int64_t>(mr.rules_traversed);
+  }
+  stats_.cpu_busy += service;
+
+  sim_.schedule(service, [this, action = mr.action] {
+    busy_ = false;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    // iptables has no VPG concept; a kVpg verdict cannot occur here because
+    // policies compiled for hosts never contain VPG rules. Treat defensively
+    // as deny.
+    if (action == RuleAction::kAllow) {
+      ++stats_.allowed;
+      job.resume(std::move(job.pkt));
+    } else {
+      ++stats_.denied;
+    }
+    start_next();
+  });
+}
+
+}  // namespace barb::firewall

@@ -1,0 +1,154 @@
+#include "firewall/vpg.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "net/ethernet.h"
+#include "util/byte_io.h"
+
+namespace barb::firewall {
+
+void VpgTable::install(std::uint32_t vpg_id, std::span<const std::uint8_t> master_key) {
+  Group g;
+  const auto derived = crypto::derive_key(master_key, "vpg-traffic");
+  std::memcpy(g.key.data(), derived.data(), g.key.size());
+  groups_[vpg_id] = g;
+}
+
+void VpgTable::remove(std::uint32_t vpg_id) { groups_.erase(vpg_id); }
+
+crypto::Aead::Nonce VpgTable::nonce_for(std::uint32_t sender_ip, std::uint64_t seq) {
+  crypto::Aead::Nonce nonce;
+  for (int i = 0; i < 4; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sender_ip >> (24 - 8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(4 + i)] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  return nonce;
+}
+
+bool VpgTable::replay_check_and_update(ReplayState& state, std::uint64_t seq) {
+  if (seq == 0) return false;
+  if (seq > state.highest) {
+    const std::uint64_t shift = seq - state.highest;
+    if (shift > 64) {
+      state.window = 0;
+    } else if (shift == 64) {
+      state.window = std::uint64_t{1} << 63;
+    } else {
+      state.window = (state.window << shift) | (std::uint64_t{1} << (shift - 1));
+    }
+    state.highest = seq;
+    return true;
+  }
+  if (seq == state.highest) return false;  // replay of the newest packet
+  const std::uint64_t offset = state.highest - seq;
+  if (offset > 64) return false;  // older than the window tracks
+  const std::uint64_t bit = std::uint64_t{1} << (offset - 1);
+  if (state.window & bit) return false;
+  state.window |= bit;
+  return true;
+}
+
+bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& frame) {
+  auto it = groups_.find(vpg_id);
+  if (it == groups_.end()) {
+    ++stats_.unknown_vpg;
+    return false;
+  }
+  Group& g = it->second;
+
+  auto view = net::FrameView::parse(frame);
+  if (!view || !view->ip) return false;
+  const auto& ip = *view->ip;
+  const auto inner = view->l3_payload;
+  const std::size_t new_payload =
+      net::VpgHeader::kSize + inner.size() + crypto::Aead::kTagSize;
+  if (net::Ipv4Header::kSize + new_payload > net::kEthernetMtu) {
+    return false;  // would not fit the MTU; hosts must reduce MSS for VPGs
+  }
+
+  net::VpgHeader vh;
+  vh.vpg_id = vpg_id;
+  vh.seq = ++g.tx_seq;
+  vh.orig_protocol = ip.protocol;
+  vh.payload_len =
+      static_cast<std::uint16_t>(inner.size() + crypto::Aead::kTagSize);
+
+  std::vector<std::uint8_t> aad;
+  ByteWriter aw(aad);
+  vh.serialize(aw);
+
+  const auto sealed =
+      crypto::Aead::seal(g.key, nonce_for(ip.src.value(), vh.seq), aad, inner);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(net::EthernetHeader::kSize + net::Ipv4Header::kSize + new_payload);
+  ByteWriter w(out);
+  w.bytes(std::span(frame).first(net::EthernetHeader::kSize));  // Ethernet unchanged
+
+  net::Ipv4Header new_ip = ip;
+  new_ip.protocol = static_cast<std::uint8_t>(net::IpProtocol::kVpg);
+  new_ip.total_length = static_cast<std::uint16_t>(net::Ipv4Header::kSize + new_payload);
+  new_ip.serialize(w);
+  w.bytes(aad);  // the VPG header bytes
+  w.bytes(sealed);
+  if (out.size() < net::kEthernetMinFrameNoFcs) {
+    w.zeros(net::kEthernetMinFrameNoFcs - out.size());
+  }
+
+  frame = std::move(out);
+  ++stats_.encapsulated;
+  return true;
+}
+
+bool VpgTable::decapsulate(std::vector<std::uint8_t>& frame) {
+  auto view = net::FrameView::parse(frame);
+  if (!view || !view->ip || !view->vpg) return false;
+  auto it = groups_.find(view->vpg->vpg_id);
+  if (it == groups_.end()) {
+    ++stats_.unknown_vpg;
+    return false;
+  }
+  Group& g = it->second;
+  const net::VpgHeader& vh = *view->vpg;
+
+  std::vector<std::uint8_t> aad;
+  ByteWriter aw(aad);
+  vh.serialize(aw);
+
+  auto opened = crypto::Aead::open(g.key, nonce_for(view->ip->src.value(), vh.seq),
+                                   aad, view->l4_payload);
+  if (!opened) {
+    ++stats_.auth_failures;
+    return false;
+  }
+  // Replay protection only after authentication (unauthenticated sequence
+  // numbers must not be able to poison the window), per sender.
+  if (!replay_check_and_update(g.rx[view->ip->src.value()], vh.seq)) {
+    ++stats_.replays_dropped;
+    return false;
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(net::EthernetHeader::kSize + net::Ipv4Header::kSize + opened->size());
+  ByteWriter w(out);
+  w.bytes(std::span(frame).first(net::EthernetHeader::kSize));
+  net::Ipv4Header new_ip = *view->ip;
+  new_ip.protocol = vh.orig_protocol;
+  new_ip.total_length =
+      static_cast<std::uint16_t>(net::Ipv4Header::kSize + opened->size());
+  new_ip.serialize(w);
+  w.bytes(*opened);
+  if (out.size() < net::kEthernetMinFrameNoFcs) {
+    w.zeros(net::kEthernetMinFrameNoFcs - out.size());
+  }
+
+  frame = std::move(out);
+  ++stats_.decapsulated;
+  return true;
+}
+
+}  // namespace barb::firewall

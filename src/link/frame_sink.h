@@ -1,0 +1,17 @@
+// Receiving end of a wire: anything a link can deliver a frame to.
+#pragma once
+
+#include "net/packet.h"
+
+namespace barb::link {
+
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  // Called when a frame has fully arrived (after serialization and
+  // propagation delay). The sink takes ownership of the packet.
+  virtual void deliver(net::Packet pkt) = 0;
+};
+
+}  // namespace barb::link

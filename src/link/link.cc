@@ -1,0 +1,69 @@
+#include "link/link.h"
+
+#include <utility>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace barb::link {
+
+Link::Link(sim::Simulation& sim, LinkConfig config) : sim_(sim), config_(config) {
+  a_.link_ = this;
+  a_.peer_ = &b_;
+  b_.link_ = this;
+  b_.peer_ = &a_;
+}
+
+sim::Duration LinkPort::frame_time(std::size_t frame_bytes) const {
+  BARB_ASSERT(link_ != nullptr);
+  const std::size_t wire_bytes =
+      std::max(frame_bytes, net::kEthernetMinFrameNoFcs) + net::kEthernetWireOverhead;
+  const double seconds =
+      static_cast<double>(wire_bytes) * 8.0 / link_->config().rate_bps;
+  return sim::Duration::from_seconds(seconds);
+}
+
+void LinkPort::send(net::Packet pkt) {
+  BARB_ASSERT_MSG(link_ != nullptr, "port not attached to a link");
+  if (transmitting_) {
+    if (queued_bytes_ + pkt.size() > link_->config().queue_bytes) {
+      ++stats_.dropped_frames;
+      return;
+    }
+    queued_bytes_ += pkt.size();
+    queue_.push_back(std::move(pkt));
+    return;
+  }
+  start_transmission(std::move(pkt));
+}
+
+void LinkPort::start_transmission(net::Packet pkt) {
+  transmitting_ = true;
+  const auto tx_time = frame_time(pkt.size());
+  stats_.tx_frames++;
+  stats_.tx_bytes += pkt.size();
+
+  auto& sim = link_->simulation();
+  const auto arrival = tx_time + link_->config().propagation;
+  // Delivery to the peer after serialization + propagation.
+  sim.schedule(arrival, [peer = peer_, p = std::move(pkt)]() mutable {
+    peer->stats_.rx_frames++;
+    peer->stats_.rx_bytes += p.size();
+    if (peer->sink_ != nullptr) peer->sink_->deliver(std::move(p));
+  });
+  // The transmitter frees after serialization (IFG already accounted in
+  // frame_time), independent of propagation.
+  sim.schedule(tx_time, [this] { on_transmit_complete(); });
+}
+
+void LinkPort::on_transmit_complete() {
+  transmitting_ = false;
+  if (!queue_.empty()) {
+    net::Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= next.size();
+    start_transmission(std::move(next));
+  }
+}
+
+}  // namespace barb::link

@@ -1,0 +1,84 @@
+#include "link/switch.h"
+
+#include <utility>
+
+#include "net/frame_view.h"
+#include "util/assert.h"
+
+namespace barb::link {
+
+struct Switch::PortSink : FrameSink {
+  Switch* parent;
+  int index;
+
+  PortSink(Switch* sw, int idx) : parent(sw), index(idx) {}
+
+  void deliver(net::Packet pkt) override { parent->handle_frame(index, std::move(pkt)); }
+};
+
+Switch::Switch(sim::Simulation& sim, std::string name, SwitchConfig config)
+    : sim_(sim), name_(std::move(name)), config_(config) {}
+
+Switch::~Switch() = default;
+
+int Switch::attach(LinkPort& port) {
+  const int index = static_cast<int>(ports_.size());
+  ports_.push_back(&port);
+  sinks_.push_back(std::make_unique<PortSink>(this, index));
+  port.connect_sink(sinks_.back().get());
+  return index;
+}
+
+int Switch::lookup(const net::MacAddress& mac) const {
+  auto it = mac_table_.find(mac);
+  if (it == mac_table_.end()) return -1;
+  if (sim_.now() - it->second.learned > config_.mac_table_aging) return -1;
+  return it->second.port;
+}
+
+void Switch::handle_frame(int ingress, net::Packet pkt) {
+  // A malformed Ethernet header cannot be forwarded anywhere.
+  if (pkt.size() < net::EthernetHeader::kSize) return;
+  ByteReader r(pkt.bytes());
+  const auto eth = net::EthernetHeader::parse(r);
+  BARB_ASSERT(eth.has_value());
+
+  // Learn the source address on the ingress port.
+  if (!eth->src.is_multicast()) {
+    mac_table_[eth->src] = MacEntry{ingress, sim_.now()};
+  }
+
+  const int egress = eth->dst.is_multicast() ? -1 : lookup(eth->dst);
+  if (egress == ingress) {
+    // Destination lives on the ingress segment; a real switch filters this.
+    ++stats_.filtered;
+    return;
+  }
+
+  auto deliver_after_latency = [this](int port, net::Packet p) {
+    sim_.schedule(config_.forwarding_delay,
+                  [this, port, pk = std::move(p)]() mutable {
+                    forward(port, std::move(pk));
+                  });
+  };
+
+  if (egress >= 0) {
+    ++stats_.forwarded;
+    deliver_after_latency(egress, std::move(pkt));
+    return;
+  }
+
+  // Flood to all other ports.
+  ++stats_.flooded;
+  for (int p = 0; p < num_ports(); ++p) {
+    if (p == ingress) continue;
+    deliver_after_latency(p, net::Packet{pkt.data, pkt.created, pkt.id});
+  }
+}
+
+void Switch::forward(int egress, net::Packet pkt) {
+  BARB_ASSERT(egress >= 0 && egress < num_ports());
+  ports_[static_cast<std::size_t>(egress)]->send(std::move(pkt));
+}
+
+}  // namespace barb::link

@@ -1,0 +1,73 @@
+// Store-and-forward learning Ethernet switch (the testbed's 3COM 3C16734A).
+//
+// Frames arrive fully serialized (the Link model delivers whole frames), are
+// looked up in the learned MAC table after a small forwarding latency, and
+// are queued on the egress LinkPort. Unknown destinations and broadcasts
+// flood to all other ports. The paper verified the switch itself was not the
+// bottleneck; our model preserves that property (forwarding capacity is
+// per-port line rate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "link/link.h"
+#include "net/mac_address.h"
+#include "sim/simulation.h"
+
+namespace barb::link {
+
+struct SwitchConfig {
+  sim::Duration forwarding_delay = sim::Duration::microseconds(4);
+  sim::Duration mac_table_aging = sim::Duration::seconds(300);
+};
+
+struct SwitchStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t flooded = 0;   // unknown unicast / broadcast
+  std::uint64_t filtered = 0;  // destination learned on the ingress port
+};
+
+class Switch {
+ public:
+  Switch(sim::Simulation& sim, std::string name, SwitchConfig config = {});
+  ~Switch();
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  // Attaches one side of a link to the next free switch port; the switch
+  // becomes the sink of that port. Returns the port index.
+  int attach(LinkPort& port);
+
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+  const SwitchStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  // Learned port for a MAC, or -1 (exposed for tests).
+  int lookup(const net::MacAddress& mac) const;
+
+ private:
+  struct PortSink;
+
+  void handle_frame(int ingress, net::Packet pkt);
+  void forward(int egress, net::Packet pkt);
+
+  struct MacEntry {
+    int port;
+    sim::TimePoint learned;
+  };
+
+  sim::Simulation& sim_;
+  std::string name_;
+  SwitchConfig config_;
+  std::vector<LinkPort*> ports_;
+  std::vector<std::unique_ptr<PortSink>> sinks_;
+  std::unordered_map<net::MacAddress, MacEntry> mac_table_;
+  SwitchStats stats_;
+};
+
+}  // namespace barb::link

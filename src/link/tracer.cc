@@ -1,0 +1,54 @@
+#include "link/tracer.h"
+
+#include <cstdio>
+
+namespace barb::link {
+
+namespace {
+
+// pcap is little-endian when written with the standard magic.
+void le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  le16(out, static_cast<std::uint16_t>(v));
+  le16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FrameTap::to_pcap() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + frames_.size() * 80);
+
+  // Global header.
+  le32(out, 0xa1b2c3d4);  // magic (microsecond timestamps)
+  le16(out, 2);           // version major
+  le16(out, 4);           // version minor
+  le32(out, 0);           // thiszone
+  le32(out, 0);           // sigfigs
+  le32(out, 65535);       // snaplen
+  le32(out, 1);           // LINKTYPE_ETHERNET
+
+  for (const auto& frame : frames_) {
+    const std::int64_t ns = frame.at.ns();
+    le32(out, static_cast<std::uint32_t>(ns / 1'000'000'000));
+    le32(out, static_cast<std::uint32_t>(ns % 1'000'000'000 / 1000));
+    le32(out, static_cast<std::uint32_t>(frame.data.size()));  // captured
+    le32(out, static_cast<std::uint32_t>(frame.data.size()));  // original
+    out.insert(out.end(), frame.data.begin(), frame.data.end());
+  }
+  return out;
+}
+
+bool FrameTap::write_pcap(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const auto bytes = to_pcap();
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace barb::link

@@ -1,0 +1,57 @@
+// Frame capture.
+//
+// FrameTap splices into any wire position (it is a FrameSink that forwards
+// to a downstream sink) and records frames with simulated timestamps. The
+// recording can be dumped as a standard pcap file (LINKTYPE_ETHERNET), so
+// simulated traffic opens directly in Wireshark/tcpdump — invaluable when
+// debugging why a policy drops something.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "link/frame_sink.h"
+#include "net/packet.h"
+
+namespace barb::link {
+
+struct CapturedFrame {
+  sim::TimePoint at;
+  std::vector<std::uint8_t> data;
+};
+
+class FrameTap : public FrameSink {
+ public:
+  // Frames flow through to `downstream` (may be null for a pure sniffer).
+  explicit FrameTap(FrameSink* downstream = nullptr, std::size_t max_frames = 100000)
+      : downstream_(downstream), max_frames_(max_frames) {}
+
+  void deliver(net::Packet pkt) override {
+    if (frames_.size() < max_frames_) {
+      frames_.push_back(CapturedFrame{pkt.created, pkt.data});
+    }
+    ++seen_;
+    if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));
+  }
+
+  const std::vector<CapturedFrame>& frames() const { return frames_; }
+  std::uint64_t frames_seen() const { return seen_; }
+  void clear() { frames_.clear(); }
+
+  // Serializes the capture in pcap format (microsecond timestamps,
+  // LINKTYPE_ETHERNET). Frames are stored without FCS, matching how
+  // tcpdump captures appear on most systems.
+  std::vector<std::uint8_t> to_pcap() const;
+
+  // Writes the pcap bytes to a file; returns false on I/O failure.
+  bool write_pcap(const std::string& path) const;
+
+ private:
+  FrameSink* downstream_;
+  std::size_t max_frames_;
+  std::vector<CapturedFrame> frames_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace barb::link

@@ -1,0 +1,44 @@
+#include "net/checksum.h"
+
+namespace barb::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_accumulate(data));
+}
+
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  std::uint8_t pseudo[12];
+  const std::uint32_t s = src.value(), d = dst.value();
+  pseudo[0] = static_cast<std::uint8_t>(s >> 24);
+  pseudo[1] = static_cast<std::uint8_t>(s >> 16);
+  pseudo[2] = static_cast<std::uint8_t>(s >> 8);
+  pseudo[3] = static_cast<std::uint8_t>(s);
+  pseudo[4] = static_cast<std::uint8_t>(d >> 24);
+  pseudo[5] = static_cast<std::uint8_t>(d >> 16);
+  pseudo[6] = static_cast<std::uint8_t>(d >> 8);
+  pseudo[7] = static_cast<std::uint8_t>(d);
+  pseudo[8] = 0;
+  pseudo[9] = protocol;
+  pseudo[10] = static_cast<std::uint8_t>(segment.size() >> 8);
+  pseudo[11] = static_cast<std::uint8_t>(segment.size());
+  std::uint32_t acc = checksum_accumulate({pseudo, sizeof(pseudo)});
+  acc = checksum_accumulate(segment, acc);
+  return checksum_finish(acc);
+}
+
+}  // namespace barb::net

@@ -1,0 +1,25 @@
+// RFC 1071 Internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/ipv4_address.h"
+
+namespace barb::net {
+
+// One's-complement sum folded to 16 bits; returns the checksum value to be
+// stored in the header (i.e., already complemented). Computing over data that
+// includes a correct checksum field yields 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// Raw (un-complemented) one's-complement accumulation, for pseudo-headers.
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc = 0);
+std::uint16_t checksum_finish(std::uint32_t acc);
+
+// TCP/UDP checksum with the IPv4 pseudo-header.
+std::uint16_t transport_checksum(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace barb::net

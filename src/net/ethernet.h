@@ -1,0 +1,52 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/mac_address.h"
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+// EtherType values used by the simulated network.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+
+  void serialize(ByteWriter& w) const {
+    w.bytes(dst.bytes());
+    w.bytes(src.bytes());
+    w.u16(ethertype);
+  }
+
+  static std::optional<EthernetHeader> parse(ByteReader& r) {
+    EthernetHeader h;
+    auto d = r.bytes(6), s = r.bytes(6);
+    h.ethertype = r.u16();
+    if (!r.ok()) return std::nullopt;
+    std::array<std::uint8_t, 6> tmp;
+    std::copy(d.begin(), d.end(), tmp.begin());
+    h.dst = MacAddress(tmp);
+    std::copy(s.begin(), s.end(), tmp.begin());
+    h.src = MacAddress(tmp);
+    return h;
+  }
+};
+
+// Ethernet physical-layer constants (used by the link model).
+// Frames are stored without FCS; the wire adds FCS + preamble + IFG.
+constexpr std::size_t kEthernetMinFrameNoFcs = 60;    // 64 with FCS
+constexpr std::size_t kEthernetMaxFrameNoFcs = 1514;  // 1518 with FCS
+constexpr std::size_t kEthernetWireOverhead = 24;     // FCS(4) + preamble(8) + IFG(12)
+constexpr std::size_t kEthernetMtu = 1500;            // max L3 payload
+
+}  // namespace barb::net

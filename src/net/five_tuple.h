@@ -1,0 +1,48 @@
+// Connection/flow identification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ipv4_address.h"
+
+namespace barb::net {
+
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+
+  FiveTuple reversed() const {
+    return FiveTuple{dst, src, dst_port, src_port, protocol};
+  }
+
+  std::string to_string() const {
+    return src.to_string() + ":" + std::to_string(src_port) + " -> " +
+           dst.to_string() + ":" + std::to_string(dst_port) + " proto " +
+           std::to_string(protocol);
+  }
+};
+
+}  // namespace barb::net
+
+template <>
+struct std::hash<barb::net::FiveTuple> {
+  std::size_t operator()(const barb::net::FiveTuple& t) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.src.value());
+    mix(t.dst.value());
+    mix(static_cast<std::uint64_t>(t.src_port) << 32 |
+        static_cast<std::uint64_t>(t.dst_port) << 16 | t.protocol);
+    return static_cast<std::size_t>(h);
+  }
+};

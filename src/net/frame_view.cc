@@ -1,0 +1,82 @@
+#include "net/frame_view.h"
+
+namespace barb::net {
+
+std::optional<FrameView> FrameView::parse(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  auto eth = EthernetHeader::parse(r);
+  if (!eth) return std::nullopt;
+
+  FrameView v;
+  v.eth = *eth;
+  if (eth->ethertype != static_cast<std::uint16_t>(EtherType::kIpv4)) return v;
+
+  // Keep a copy of the reader position: IP payload length comes from the IP
+  // header's total_length, not from the frame size (frames may be padded to
+  // the Ethernet minimum).
+  const std::size_t ip_start = r.position();
+  auto ip = Ipv4Header::parse(r);
+  if (!ip) return v;
+  if (ip->total_length < Ipv4Header::kSize) return v;
+  const std::size_t payload_len = ip->total_length - Ipv4Header::kSize;
+  if (frame.size() < ip_start + ip->total_length) return v;
+  v.ip = *ip;
+  v.l3_payload = frame.subspan(ip_start + Ipv4Header::kSize, payload_len);
+
+  ByteReader lr(v.l3_payload);
+  switch (static_cast<IpProtocol>(ip->protocol)) {
+    case IpProtocol::kTcp: {
+      auto tcp = TcpHeader::parse(lr);
+      if (tcp) {
+        v.tcp = *tcp;
+        v.l4_payload = lr.rest();
+      }
+      break;
+    }
+    case IpProtocol::kUdp: {
+      auto udp = UdpHeader::parse(lr);
+      if (udp && udp->length >= UdpHeader::kSize &&
+          udp->length <= v.l3_payload.size()) {
+        v.udp = *udp;
+        v.l4_payload = v.l3_payload.subspan(UdpHeader::kSize,
+                                            udp->length - UdpHeader::kSize);
+      }
+      break;
+    }
+    case IpProtocol::kIcmp: {
+      auto icmp = IcmpHeader::parse(lr);
+      if (icmp) {
+        v.icmp = *icmp;
+        v.l4_payload = lr.rest();
+      }
+      break;
+    }
+    case IpProtocol::kVpg: {
+      auto vpg = VpgHeader::parse(lr);
+      if (vpg && vpg->payload_len <= lr.remaining()) {
+        v.vpg = *vpg;
+        v.l4_payload = lr.bytes(vpg->payload_len);
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+std::optional<FiveTuple> FrameView::five_tuple() const {
+  if (!ip) return std::nullopt;
+  FiveTuple t;
+  t.src = ip->src;
+  t.dst = ip->dst;
+  t.protocol = ip->protocol;
+  if (tcp) {
+    t.src_port = tcp->src_port;
+    t.dst_port = tcp->dst_port;
+  } else if (udp) {
+    t.src_port = udp->src_port;
+    t.dst_port = udp->dst_port;
+  }
+  return t;
+}
+
+}  // namespace barb::net

@@ -1,0 +1,44 @@
+// Parsed view over a full Ethernet frame.
+//
+// FrameView is the single parsing entry point used by switches, firewalls,
+// and host stacks. Spans reference the original frame bytes; a FrameView
+// must not outlive the buffer it was parsed from.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "net/ethernet.h"
+#include "net/five_tuple.h"
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "net/tcp_header.h"
+#include "net/udp.h"
+#include "net/vpg_header.h"
+
+namespace barb::net {
+
+struct FrameView {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ip;
+  std::span<const std::uint8_t> l3_payload;  // IP payload bytes
+
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  std::optional<VpgHeader> vpg;
+  std::span<const std::uint8_t> l4_payload;  // transport (or VPG sealed) payload
+
+  // Parses as much as is well-formed; returns nullopt only if the Ethernet
+  // header itself is truncated. A frame with a garbled IP layer still parses
+  // to a FrameView with ip == nullopt, letting switches forward it anyway
+  // (real switches do not validate L3).
+  static std::optional<FrameView> parse(std::span<const std::uint8_t> frame);
+
+  bool is_ipv4() const { return ip.has_value(); }
+
+  // Flow tuple for firewall matching; transport ports are zero when absent.
+  std::optional<FiveTuple> five_tuple() const;
+};
+
+}  // namespace barb::net

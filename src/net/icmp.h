@@ -1,0 +1,46 @@
+// ICMP (RFC 792): echo and destination-unreachable, which is all the
+// experiments exercise (port-unreachable responses to UDP floods).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestinationUnreachable = 3,
+  kEchoRequest = 8,
+};
+
+constexpr std::uint8_t kIcmpCodePortUnreachable = 3;
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;  // filled in by the builder
+  std::uint32_t rest = 0;      // echo: id<<16 | seq; unreachable: unused
+
+  void serialize(ByteWriter& w) const {
+    w.u8(type);
+    w.u8(code);
+    w.u16(checksum);
+    w.u32(rest);
+  }
+
+  static std::optional<IcmpHeader> parse(ByteReader& r) {
+    if (r.remaining() < kSize) return std::nullopt;
+    IcmpHeader h;
+    h.type = r.u8();
+    h.code = r.u8();
+    h.checksum = r.u16();
+    h.rest = r.u32();
+    return h;
+  }
+};
+
+}  // namespace barb::net

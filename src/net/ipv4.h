@@ -1,0 +1,83 @@
+// IPv4 header (RFC 791), no options.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/checksum.h"
+#include "net/ipv4_address.h"
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+// IP protocol numbers carried by the simulated network. kVpg is the
+// encapsulation protocol for ADF virtual private groups (an unassigned
+// experimental number, matching how the real ADF tunnels traffic).
+enum class IpProtocol : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kVpg = 250,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kDefaultTtl = 64;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload
+  std::uint16_t identification = 0;
+  bool dont_fragment = true;
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  // Serializes with a freshly computed header checksum.
+  void serialize(ByteWriter& w) const {
+    std::vector<std::uint8_t> hdr;
+    hdr.reserve(kSize);
+    ByteWriter hw(hdr);
+    hw.u8(0x45);  // version 4, IHL 5
+    hw.u8(tos);
+    hw.u16(total_length);
+    hw.u16(identification);
+    hw.u16(dont_fragment ? 0x4000 : 0x0000);
+    hw.u8(ttl);
+    hw.u8(protocol);
+    hw.u16(0);  // checksum placeholder
+    hw.u32(src.value());
+    hw.u32(dst.value());
+    const std::uint16_t sum = internet_checksum(hdr);
+    hdr[10] = static_cast<std::uint8_t>(sum >> 8);
+    hdr[11] = static_cast<std::uint8_t>(sum);
+    w.bytes(hdr);
+  }
+
+  // Parses and verifies the header checksum; fails on options/fragments
+  // (neither is produced by the simulated stacks).
+  static std::optional<Ipv4Header> parse(ByteReader& r) {
+    if (r.remaining() < kSize) return std::nullopt;
+    std::span<const std::uint8_t> raw = r.bytes(kSize);
+    if (internet_checksum(raw) != 0) return std::nullopt;
+    ByteReader hr(raw);
+    const std::uint8_t ver_ihl = hr.u8();
+    if (ver_ihl != 0x45) return std::nullopt;
+    Ipv4Header h;
+    h.tos = hr.u8();
+    h.total_length = hr.u16();
+    h.identification = hr.u16();
+    const std::uint16_t flags_frag = hr.u16();
+    h.dont_fragment = (flags_frag & 0x4000) != 0;
+    if ((flags_frag & 0x3fff) != 0) return std::nullopt;  // fragments unsupported
+    h.ttl = hr.u8();
+    h.protocol = hr.u8();
+    hr.u16();  // checksum (verified above)
+    h.src = Ipv4Address(hr.u32());
+    h.dst = Ipv4Address(hr.u32());
+    return h;
+  }
+};
+
+}  // namespace barb::net

@@ -1,0 +1,38 @@
+#include "net/mac_address.h"
+
+#include <cstdio>
+
+namespace barb::net {
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> bytes{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (pos + 2 > text.size()) return std::nullopt;
+    unsigned value = 0;
+    for (int d = 0; d < 2; ++d) {
+      const char c = text[pos++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else return std::nullopt;
+    }
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    if (i < 5) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress(bytes);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace barb::net

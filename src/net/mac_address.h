@@ -1,0 +1,57 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace barb::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  // Deterministic locally-administered unicast address from a small host id.
+  static constexpr MacAddress from_host_id(std::uint32_t id) {
+    return MacAddress({0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                       static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  constexpr bool is_broadcast() const { return *this == broadcast(); }
+  constexpr bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes_) v = v << 8 | b;
+    return v;
+  }
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace barb::net
+
+template <>
+struct std::hash<barb::net::MacAddress> {
+  std::size_t operator()(const barb::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

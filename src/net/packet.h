@@ -1,0 +1,30 @@
+// The unit of transfer on the simulated network: one Ethernet frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace barb::net {
+
+struct Packet {
+  // L2 frame bytes, without FCS (the link model accounts for FCS, preamble,
+  // and inter-frame gap when computing wire time).
+  std::vector<std::uint8_t> data;
+  // When the frame was created, for end-to-end latency accounting.
+  sim::TimePoint created;
+  // Monotonic per-simulation id for tracing.
+  std::uint64_t id = 0;
+
+  Packet() = default;
+  Packet(std::vector<std::uint8_t> bytes, sim::TimePoint at, std::uint64_t packet_id)
+      : data(std::move(bytes)), created(at), id(packet_id) {}
+
+  std::size_t size() const { return data.size(); }
+  std::span<const std::uint8_t> bytes() const { return data; }
+};
+
+}  // namespace barb::net

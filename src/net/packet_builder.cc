@@ -1,0 +1,98 @@
+#include "net/packet_builder.h"
+
+#include "net/checksum.h"
+#include "net/icmp.h"
+#include "net/udp.h"
+#include "util/assert.h"
+
+namespace barb::net {
+
+std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol protocol,
+                                           std::span<const std::uint8_t> ip_payload,
+                                           std::uint16_t ip_id, std::uint8_t ttl) {
+  BARB_ASSERT_MSG(ip_payload.size() + Ipv4Header::kSize <= kEthernetMtu,
+                  "payload exceeds MTU; fragmentation is not modeled");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(EthernetHeader::kSize + Ipv4Header::kSize + ip_payload.size());
+  ByteWriter w(frame);
+
+  EthernetHeader eth;
+  eth.dst = ep.dst_mac;
+  eth.src = ep.src_mac;
+  eth.ethertype = static_cast<std::uint16_t>(EtherType::kIpv4);
+  eth.serialize(w);
+
+  Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + ip_payload.size());
+  ip.identification = ip_id;
+  ip.ttl = ttl;
+  ip.protocol = static_cast<std::uint8_t>(protocol);
+  ip.src = ep.src_ip;
+  ip.dst = ep.dst_ip;
+  ip.serialize(w);
+
+  w.bytes(ip_payload);
+  if (frame.size() < kEthernetMinFrameNoFcs) {
+    w.zeros(kEthernetMinFrameNoFcs - frame.size());
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> build_udp_frame(const IpEndpoints& ep, std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id) {
+  std::vector<std::uint8_t> segment;
+  segment.reserve(UdpHeader::kSize + payload.size());
+  ByteWriter w(segment);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.serialize(w);
+  w.bytes(payload);
+  const std::uint16_t sum =
+      transport_checksum(ep.src_ip, ep.dst_ip,
+                         static_cast<std::uint8_t>(IpProtocol::kUdp), segment);
+  segment[6] = static_cast<std::uint8_t>(sum >> 8);
+  segment[7] = static_cast<std::uint8_t>(sum);
+  return build_ipv4_frame(ep, IpProtocol::kUdp, segment, ip_id);
+}
+
+std::vector<std::uint8_t> build_tcp_frame(const IpEndpoints& ep, TcpHeader header,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id) {
+  std::vector<std::uint8_t> segment;
+  segment.reserve(header.size() + payload.size());
+  ByteWriter w(segment);
+  header.checksum = 0;
+  header.serialize(w);
+  w.bytes(payload);
+  const std::uint16_t sum =
+      transport_checksum(ep.src_ip, ep.dst_ip,
+                         static_cast<std::uint8_t>(IpProtocol::kTcp), segment);
+  segment[16] = static_cast<std::uint8_t>(sum >> 8);
+  segment[17] = static_cast<std::uint8_t>(sum);
+  return build_ipv4_frame(ep, IpProtocol::kTcp, segment, ip_id);
+}
+
+std::vector<std::uint8_t> build_icmp_frame(const IpEndpoints& ep, std::uint8_t type,
+                                           std::uint8_t code, std::uint32_t rest,
+                                           std::span<const std::uint8_t> payload,
+                                           std::uint16_t ip_id) {
+  std::vector<std::uint8_t> msg;
+  msg.reserve(IcmpHeader::kSize + payload.size());
+  ByteWriter w(msg);
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.code = code;
+  icmp.rest = rest;
+  icmp.serialize(w);
+  w.bytes(payload);
+  const std::uint16_t sum = internet_checksum(msg);
+  msg[2] = static_cast<std::uint8_t>(sum >> 8);
+  msg[3] = static_cast<std::uint8_t>(sum);
+  return build_ipv4_frame(ep, IpProtocol::kIcmp, msg, ip_id);
+}
+
+}  // namespace barb::net

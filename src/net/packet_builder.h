@@ -1,0 +1,49 @@
+// Frame assembly.
+//
+// Builders produce complete, checksummed Ethernet frames. They are used by
+// the host stacks and by the flood generator (which crafts frames directly,
+// like the paper's raw-socket generator).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/ipv4.h"
+#include "net/mac_address.h"
+#include "net/tcp_header.h"
+
+namespace barb::net {
+
+struct IpEndpoints {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  MacAddress src_mac;
+  MacAddress dst_mac;
+};
+
+// Wraps an IP payload into Ethernet+IPv4, padding to the Ethernet minimum.
+std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol protocol,
+                                           std::span<const std::uint8_t> ip_payload,
+                                           std::uint16_t ip_id = 0,
+                                           std::uint8_t ttl = Ipv4Header::kDefaultTtl);
+
+// UDP datagram with a valid transport checksum.
+std::vector<std::uint8_t> build_udp_frame(const IpEndpoints& ep, std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id = 0);
+
+// TCP segment; `header.checksum` is computed here.
+std::vector<std::uint8_t> build_tcp_frame(const IpEndpoints& ep, TcpHeader header,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id = 0);
+
+// ICMP message (type/code/rest), checksum computed here.
+std::vector<std::uint8_t> build_icmp_frame(const IpEndpoints& ep, std::uint8_t type,
+                                           std::uint8_t code, std::uint32_t rest,
+                                           std::span<const std::uint8_t> payload,
+                                           std::uint16_t ip_id = 0);
+
+}  // namespace barb::net

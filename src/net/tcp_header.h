@@ -1,0 +1,102 @@
+// TCP header (RFC 793) with optional MSS option (the only option our stack
+// negotiates, matching paper-era Linux 2.4 behaviour at 100 Mbps where window
+// scaling is not the bottleneck).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;  // filled in by the builder
+  std::uint16_t urgent = 0;
+  std::optional<std::uint16_t> mss;  // MSS option, SYN segments only
+
+  bool syn() const { return flags & TcpFlags::kSyn; }
+  bool ack_flag() const { return flags & TcpFlags::kAck; }
+  bool fin() const { return flags & TcpFlags::kFin; }
+  bool rst() const { return flags & TcpFlags::kRst; }
+  bool psh() const { return flags & TcpFlags::kPsh; }
+
+  std::size_t size() const { return kMinSize + (mss ? 4 : 0); }
+
+  void serialize(ByteWriter& w) const {
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u32(seq);
+    w.u32(ack);
+    const std::uint8_t data_offset_words = static_cast<std::uint8_t>(size() / 4);
+    w.u8(static_cast<std::uint8_t>(data_offset_words << 4));
+    w.u8(flags);
+    w.u16(window);
+    w.u16(checksum);
+    w.u16(urgent);
+    if (mss) {
+      w.u8(2);  // kind: MSS
+      w.u8(4);  // length
+      w.u16(*mss);
+    }
+  }
+
+  static std::optional<TcpHeader> parse(ByteReader& r) {
+    if (r.remaining() < kMinSize) return std::nullopt;
+    TcpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.seq = r.u32();
+    h.ack = r.u32();
+    const std::uint8_t offset_byte = r.u8();
+    const std::size_t header_len = static_cast<std::size_t>(offset_byte >> 4) * 4;
+    if (header_len < kMinSize) return std::nullopt;
+    h.flags = r.u8() & 0x3f;
+    h.window = r.u16();
+    h.checksum = r.u16();
+    h.urgent = r.u16();
+    std::size_t options_len = header_len - kMinSize;
+    if (r.remaining() < options_len) return std::nullopt;
+    while (options_len > 0) {
+      const std::uint8_t kind = r.u8();
+      --options_len;
+      if (kind == 0) {  // end of options
+        r.skip(options_len);
+        options_len = 0;
+      } else if (kind == 1) {  // NOP
+        continue;
+      } else {
+        if (options_len < 1) return std::nullopt;
+        const std::uint8_t len = r.u8();
+        --options_len;
+        if (len < 2 || static_cast<std::size_t>(len - 2) > options_len) return std::nullopt;
+        if (kind == 2 && len == 4) {
+          h.mss = r.u16();
+        } else {
+          r.skip(static_cast<std::size_t>(len - 2));
+        }
+        options_len -= static_cast<std::size_t>(len - 2);
+      }
+    }
+    if (!r.ok()) return std::nullopt;
+    return h;
+  }
+};
+
+}  // namespace barb::net

@@ -1,0 +1,37 @@
+// UDP header (RFC 768).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;    // header + payload
+  std::uint16_t checksum = 0;  // filled in by the builder
+
+  void serialize(ByteWriter& w) const {
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(length);
+    w.u16(checksum);
+  }
+
+  static std::optional<UdpHeader> parse(ByteReader& r) {
+    if (r.remaining() < kSize) return std::nullopt;
+    UdpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.length = r.u16();
+    h.checksum = r.u16();
+    return h;
+  }
+};
+
+}  // namespace barb::net

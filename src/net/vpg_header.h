@@ -1,0 +1,49 @@
+// VPG encapsulation header.
+//
+// ADF virtual private groups tunnel the original transport payload inside
+// IP protocol 250. Layout (cleartext header, authenticated as AAD):
+//   vpg_id(4) | seq(8) | orig_protocol(1) | reserved(1) | payload_len(2)
+// followed by ChaCha20-Poly1305 sealed payload (ciphertext || 16-byte tag).
+// The sequence number doubles as the AEAD nonce material and gives replay
+// protection at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/byte_io.h"
+
+namespace barb::net {
+
+struct VpgHeader {
+  static constexpr std::size_t kSize = 16;
+  static constexpr std::size_t kTagSize = 16;
+  // Total per-packet byte overhead of VPG encapsulation.
+  static constexpr std::size_t kOverhead = kSize + kTagSize;
+
+  std::uint32_t vpg_id = 0;
+  std::uint64_t seq = 0;
+  std::uint8_t orig_protocol = 0;
+  std::uint16_t payload_len = 0;  // sealed payload length (incl. tag)
+
+  void serialize(ByteWriter& w) const {
+    w.u32(vpg_id);
+    w.u64(seq);
+    w.u8(orig_protocol);
+    w.u8(0);
+    w.u16(payload_len);
+  }
+
+  static std::optional<VpgHeader> parse(ByteReader& r) {
+    if (r.remaining() < kSize) return std::nullopt;
+    VpgHeader h;
+    h.vpg_id = r.u32();
+    h.seq = r.u64();
+    h.orig_protocol = r.u8();
+    r.u8();
+    h.payload_len = r.u16();
+    return h;
+  }
+};
+
+}  // namespace barb::net

@@ -1,0 +1,119 @@
+// Deterministic pseudo-random generator for the simulator.
+//
+// xoshiro256** seeded through splitmix64. Every experiment repetition gets its
+// own seed so runs are reproducible bit-for-bit across machines, which the
+// validation methodology depends on (the paper averages three measurements per
+// point; we must be able to re-run any of them).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace barb::sim {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four xoshiro words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    BARB_ASSERT(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exact uniformity.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (l < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    BARB_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform real in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  // Exponential with the given mean (mean > 0).
+  double exponential(double mean) {
+    BARB_ASSERT(mean > 0);
+    double u;
+    do {
+      u = uniform_real();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform_real(-1.0, 1.0);
+      v = uniform_real(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace barb::sim

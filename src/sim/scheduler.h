@@ -1,0 +1,111 @@
+// Event scheduler: a stable binary-heap priority queue of timed callbacks.
+//
+// Stability matters: events scheduled for the same instant fire in scheduling
+// order, which keeps simulations deterministic and makes causality reasoning
+// possible ("the ACK I scheduled before the timer fires first").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/assert.h"
+
+namespace barb::sim {
+
+// Cancellation token for a scheduled event. Default-constructed handles are
+// inert. Cancelling an already-fired or already-cancelled event is a no-op,
+// so components can cancel unconditionally in destructors.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (auto s = state_.lock()) *s = true;
+    state_.reset();
+  }
+
+  // True if the event is still queued and not cancelled.
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !*s;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::weak_ptr<bool> state) : state_(std::move(state)) {}
+  std::weak_ptr<bool> state_;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `at` (must not be in the past).
+  EventHandle schedule_at(TimePoint at, Callback fn) {
+    BARB_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    auto cancelled = std::make_shared<bool>(false);
+    EventHandle handle{std::weak_ptr<bool>(cancelled)};
+    queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+    return handle;
+  }
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  // Time of the earliest pending entry (including cancelled placeholders).
+  TimePoint next_event_time() const {
+    BARB_ASSERT(!queue_.empty());
+    return queue_.top().at;
+  }
+
+  // Pops and runs the earliest event; returns false if the queue is empty.
+  // Cancelled entries are discarded without advancing the executed count.
+  bool run_one() {
+    while (!queue_.empty()) {
+      Entry e = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      if (*e.cancelled) continue;
+      BARB_ASSERT(e.at >= now_);
+      now_ = e.at;
+      ++events_executed_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  // Advances the clock without running anything (used by run_until when the
+  // queue drains before the target time).
+  void advance_to(TimePoint t) {
+    BARB_ASSERT(t >= now_);
+    now_ = t;
+  }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace barb::sim

@@ -1,0 +1,34 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace barb::sim {
+
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  if (ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "s", ns / 1'000'000'000);
+  } else if (ns % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ms", ns / 1'000'000);
+  } else if (ns % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", ns / 1'000);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9fs", to_seconds());
+  return buf;
+}
+
+}  // namespace barb::sim

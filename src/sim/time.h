@@ -1,0 +1,94 @@
+// Simulated time.
+//
+// The simulator keeps time as integer nanoseconds. Two strong types prevent
+// the classic bug of mixing absolute times and intervals:
+//   Duration  — a signed span of simulated time
+//   TimePoint — an absolute instant since simulation start
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <string>
+
+namespace barb::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanoseconds(std::int64_t ns) { return Duration(ns); }
+  static constexpr Duration microseconds(std::int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration(ms * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  // Converts a floating-point second count; rounds to the nearest nanosecond.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double to_microseconds() const { return static_cast<double>(ns_) * 1e-3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  constexpr Duration operator*(T k) const {
+    if constexpr (std::is_integral_v<T>) {
+      return Duration(ns_ * static_cast<std::int64_t>(k));
+    } else {
+      return Duration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+    }
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(ns_ / k); }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanoseconds(ns_ - o.ns_);
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace barb::sim

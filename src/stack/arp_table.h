@@ -1,0 +1,33 @@
+// Static ARP table.
+//
+// The testbed is one switched subnet; the testbed builder installs every
+// host's mapping up front (the paper's results do not depend on ARP
+// dynamics, and a resolution protocol would only add noise to the
+// measurements).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/ipv4_address.h"
+#include "net/mac_address.h"
+
+namespace barb::stack {
+
+class ArpTable {
+ public:
+  void add(net::Ipv4Address ip, net::MacAddress mac) { table_[ip] = mac; }
+
+  std::optional<net::MacAddress> lookup(net::Ipv4Address ip) const {
+    auto it = table_.find(ip);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Address, net::MacAddress> table_;
+};
+
+}  // namespace barb::stack

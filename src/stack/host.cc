@@ -1,0 +1,196 @@
+#include "stack/host.h"
+
+#include <utility>
+#include <vector>
+
+#include "net/icmp.h"
+#include "stack/tcp.h"
+#include "stack/udp.h"
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace barb::stack {
+
+Host::Host(sim::Simulation& sim, std::string name, net::Ipv4Address ip,
+           std::unique_ptr<Nic> nic, HostConfig config)
+    : sim_(sim),
+      name_(std::move(name)),
+      ip_(ip),
+      nic_(std::move(nic)),
+      config_(config),
+      icmp_error_limiter_(config.icmp_error_rate_per_sec, 1.0) {
+  BARB_ASSERT(nic_ != nullptr);
+  nic_->set_host_sink(this);
+  udp_ = std::make_unique<UdpLayer>(*this);
+  tcp_ = std::make_unique<TcpLayer>(*this);
+  arp_.add(ip_, nic_->mac());
+}
+
+Host::~Host() = default;
+
+UdpSocket* Host::udp_open(std::uint16_t local_port) { return udp_->open(local_port); }
+
+TcpListener* Host::tcp_listen(
+    std::uint16_t port, std::function<void(std::shared_ptr<TcpConnection>)> on_accept) {
+  return tcp_->listen(port, std::move(on_accept));
+}
+
+std::shared_ptr<TcpConnection> Host::tcp_connect(net::Ipv4Address dst,
+                                                 std::uint16_t dst_port) {
+  return tcp_->connect(dst, dst_port);
+}
+
+std::uint16_t Host::allocate_ephemeral_port() {
+  for (int attempts = 0; attempts < 28000; ++attempts) {
+    const std::uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 60999 ? 32768 : next_ephemeral_ + 1;
+    if (!udp_->port_in_use(port) && !tcp_->port_in_use(port)) return port;
+  }
+  BARB_WARN("%s: ephemeral port space exhausted", name_.c_str());
+  return 0;
+}
+
+bool Host::send_ip(net::IpProtocol protocol, net::Ipv4Address dst,
+                   std::span<const std::uint8_t> ip_payload) {
+  const auto dst_mac = arp_.lookup(dst);
+  if (!dst_mac) {
+    BARB_DEBUG("%s: no ARP entry for %s", name_.c_str(), dst.to_string().c_str());
+    return false;
+  }
+  net::IpEndpoints ep;
+  ep.src_ip = ip_;
+  ep.dst_ip = dst;
+  ep.src_mac = nic_->mac();
+  ep.dst_mac = *dst_mac;
+  auto frame = net::build_ipv4_frame(ep, protocol, ip_payload, next_ip_id());
+  ++stats_.ip_tx;
+  send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
+  return true;
+}
+
+void Host::send_frame(net::Packet pkt) {
+  if (filter_ != nullptr) {
+    filter_->filter(FilterDirection::kOutput, std::move(pkt),
+                    [this](net::Packet allowed) { nic_->transmit(std::move(allowed)); });
+    return;
+  }
+  nic_->transmit(std::move(pkt));
+}
+
+void Host::deliver(net::Packet pkt) {
+  if (filter_ != nullptr) {
+    filter_->filter(FilterDirection::kInput, std::move(pkt),
+                    [this](net::Packet allowed) { ip_input(std::move(allowed)); });
+    return;
+  }
+  ip_input(std::move(pkt));
+}
+
+void Host::ip_input(net::Packet pkt) {
+  auto v = net::FrameView::parse(pkt.bytes());
+  if (!v || !v->ip) {
+    ++stats_.ip_rx_dropped;
+    return;
+  }
+  if (v->ip->dst != ip_ && v->ip->dst != net::Ipv4Address::broadcast()) {
+    ++stats_.ip_rx_dropped;
+    return;
+  }
+  ++stats_.ip_rx;
+
+  if (v->tcp) {
+    tcp_->handle_segment(*v);
+    return;
+  }
+  if (v->udp) {
+    if (!udp_->handle_datagram(*v)) {
+      send_icmp_port_unreachable(*v);
+    }
+    return;
+  }
+  if (v->icmp) {
+    handle_icmp(*v);
+    return;
+  }
+  // Unknown protocol at the host (e.g. a stray VPG frame the NIC did not
+  // decapsulate): drop.
+  ++stats_.ip_rx_dropped;
+}
+
+bool Host::send_echo_request(net::Ipv4Address dst, std::uint16_t id,
+                             std::uint16_t seq, std::size_t payload_bytes) {
+  const auto dst_mac = arp_.lookup(dst);
+  if (!dst_mac) return false;
+  net::IpEndpoints ep;
+  ep.src_ip = ip_;
+  ep.dst_ip = dst;
+  ep.src_mac = nic_->mac();
+  ep.dst_mac = *dst_mac;
+  const std::vector<std::uint8_t> payload(payload_bytes, 0x5a);
+  auto frame = net::build_icmp_frame(
+      ep, static_cast<std::uint8_t>(net::IcmpType::kEchoRequest), 0,
+      static_cast<std::uint32_t>(id) << 16 | seq, payload, next_ip_id());
+  ++stats_.ip_tx;
+  send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
+  return true;
+}
+
+void Host::handle_icmp(const net::FrameView& v) {
+  if (v.icmp->type == static_cast<std::uint8_t>(net::IcmpType::kEchoReply)) {
+    if (echo_reply_handler_) {
+      echo_reply_handler_(v.ip->src, static_cast<std::uint16_t>(v.icmp->rest >> 16),
+                          static_cast<std::uint16_t>(v.icmp->rest));
+    }
+    return;
+  }
+  if (v.icmp->type == static_cast<std::uint8_t>(net::IcmpType::kEchoRequest)) {
+    const auto dst_mac = arp_.lookup(v.ip->src);
+    if (!dst_mac) return;
+    net::IpEndpoints ep;
+    ep.src_ip = ip_;
+    ep.dst_ip = v.ip->src;
+    ep.src_mac = nic_->mac();
+    ep.dst_mac = *dst_mac;
+    auto frame = net::build_icmp_frame(
+        ep, static_cast<std::uint8_t>(net::IcmpType::kEchoReply), 0, v.icmp->rest,
+        v.l4_payload, next_ip_id());
+    ++stats_.icmp_echo_replies;
+    ++stats_.ip_tx;
+    send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
+  }
+  // Destination-unreachable and echo replies are counted by interested
+  // sockets/apps; the base stack drops them silently like a host with no
+  // listener would.
+}
+
+void Host::send_icmp_port_unreachable(const net::FrameView& original) {
+  // Linux rate-limits ICMP errors (icmp_ratelimit); a UDP flood therefore
+  // produces almost no response traffic, unlike a TCP flood's RSTs.
+  if (!icmp_error_limiter_.try_consume(sim_.now())) {
+    ++stats_.icmp_unreachable_suppressed;
+    return;
+  }
+  const auto dst_mac = arp_.lookup(original.ip->src);
+  if (!dst_mac) return;
+
+  // Quote the original IP header + first 8 payload bytes, per RFC 792.
+  std::vector<std::uint8_t> quote;
+  ByteWriter qw(quote);
+  original.ip->serialize(qw);
+  const auto head = original.l3_payload.first(std::min<std::size_t>(8, original.l3_payload.size()));
+  qw.bytes(head);
+
+  net::IpEndpoints ep;
+  ep.src_ip = ip_;
+  ep.dst_ip = original.ip->src;
+  ep.src_mac = nic_->mac();
+  ep.dst_mac = *dst_mac;
+  auto frame = net::build_icmp_frame(
+      ep, static_cast<std::uint8_t>(net::IcmpType::kDestinationUnreachable),
+      net::kIcmpCodePortUnreachable, 0, quote, next_ip_id());
+  ++stats_.icmp_unreachable_sent;
+  ++stats_.ip_tx;
+  send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
+}
+
+}  // namespace barb::stack

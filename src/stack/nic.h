@@ -1,0 +1,111 @@
+// Network interface cards.
+//
+// A Nic sits between a link and a host stack. StandardNic (the paper's Intel
+// EEPro 100 baseline) forwards in both directions with no processing cost —
+// which the paper experimentally confirmed has no measurable impact. The EFW
+// and ADF models subclass Nic in src/firewall.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "link/frame_sink.h"
+#include "link/link.h"
+#include "net/ethernet.h"
+#include "net/frame_view.h"
+#include "net/mac_address.h"
+#include "sim/simulation.h"
+
+namespace barb::stack {
+
+struct NicStats {
+  std::uint64_t rx_frames = 0;        // accepted from the wire
+  std::uint64_t rx_delivered = 0;     // handed to the host stack
+  std::uint64_t rx_dropped = 0;       // dropped by the NIC (ring/filter)
+  std::uint64_t tx_requested = 0;     // handed down by the host
+  std::uint64_t tx_sent = 0;          // put on the wire
+  std::uint64_t tx_dropped = 0;
+};
+
+class Nic : public link::FrameSink {
+ public:
+  Nic(sim::Simulation& sim, net::MacAddress mac, std::string name)
+      : sim_(sim), mac_(mac), name_(std::move(name)) {}
+
+  // Attaches this NIC to one side of a link.
+  void attach(link::LinkPort& port) {
+    port_ = &port;
+    port.connect_sink(this);
+  }
+
+  // Registers the host stack that receives inbound frames.
+  void set_host_sink(link::FrameSink* sink) { host_sink_ = sink; }
+
+  net::MacAddress mac() const { return mac_; }
+  const std::string& name() const { return name_; }
+  const NicStats& stats() const { return stats_; }
+  sim::Simulation& simulation() { return sim_; }
+  link::LinkPort* port() { return port_; }
+
+  // Host -> wire path; subclasses may filter, delay, or transform.
+  virtual void transmit(net::Packet pkt) = 0;
+
+ protected:
+  // True if the frame is addressed to this NIC (or broadcast/multicast).
+  bool addressed_to_us(const net::Packet& pkt) const {
+    if (pkt.size() < net::EthernetHeader::kSize) return false;
+    // Destination MAC is the first six bytes.
+    std::array<std::uint8_t, 6> dst;
+    std::copy_n(pkt.data.begin(), 6, dst.begin());
+    const net::MacAddress mac_dst{dst};
+    return mac_dst == mac_ || mac_dst.is_multicast();
+  }
+
+  void send_to_wire(net::Packet pkt) {
+    if (port_ == nullptr) {
+      ++stats_.tx_dropped;
+      return;
+    }
+    ++stats_.tx_sent;
+    port_->send(std::move(pkt));
+  }
+
+  void deliver_to_host(net::Packet pkt) {
+    if (host_sink_ == nullptr) {
+      ++stats_.rx_dropped;
+      return;
+    }
+    ++stats_.rx_delivered;
+    host_sink_->deliver(std::move(pkt));
+  }
+
+  sim::Simulation& sim_;
+  net::MacAddress mac_;
+  std::string name_;
+  link::LinkPort* port_ = nullptr;
+  link::FrameSink* host_sink_ = nullptr;
+  NicStats stats_;
+};
+
+// Plain NIC: both directions pass through unfiltered and undelayed.
+class StandardNic : public Nic {
+ public:
+  using Nic::Nic;
+
+  void transmit(net::Packet pkt) override {
+    ++stats_.tx_requested;
+    send_to_wire(std::move(pkt));
+  }
+
+  void deliver(net::Packet pkt) override {
+    ++stats_.rx_frames;
+    if (!addressed_to_us(pkt)) {
+      ++stats_.rx_dropped;
+      return;
+    }
+    deliver_to_host(std::move(pkt));
+  }
+};
+
+}  // namespace barb::stack

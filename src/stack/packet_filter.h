@@ -1,0 +1,27 @@
+// Host-resident packet filter hook (the iptables attachment point).
+//
+// The hook is asynchronous so a filter can model host-CPU queueing delay:
+// the filter calls `resume` with the packet once (and only if) it passes.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.h"
+
+namespace barb::stack {
+
+enum class FilterDirection { kInput, kOutput };
+
+class HostPacketFilter {
+ public:
+  virtual ~HostPacketFilter() = default;
+
+  using Resume = std::function<void(net::Packet)>;
+
+  // Filters a packet traversing the host stack. Implementations either drop
+  // the packet (never calling resume) or call resume exactly once, possibly
+  // after simulated processing delay.
+  virtual void filter(FilterDirection direction, net::Packet pkt, Resume resume) = 0;
+};
+
+}  // namespace barb::stack

@@ -1,0 +1,66 @@
+#include "stack/udp.h"
+
+#include <vector>
+
+#include "net/checksum.h"
+#include "net/udp.h"
+#include "stack/host.h"
+#include "util/byte_io.h"
+
+namespace barb::stack {
+
+bool UdpSocket::send_to(net::Ipv4Address dst, std::uint16_t dst_port,
+                        std::span<const std::uint8_t> payload) {
+  Host& host = layer_.host_;
+  if (net::UdpHeader::kSize + payload.size() + net::Ipv4Header::kSize >
+      net::kEthernetMtu) {
+    return false;
+  }
+  std::vector<std::uint8_t> segment;
+  segment.reserve(net::UdpHeader::kSize + payload.size());
+  ByteWriter w(segment);
+  net::UdpHeader udp;
+  udp.src_port = local_port_;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload.size());
+  udp.serialize(w);
+  w.bytes(payload);
+  const std::uint16_t sum = net::transport_checksum(
+      host.ip(), dst, static_cast<std::uint8_t>(net::IpProtocol::kUdp), segment);
+  segment[6] = static_cast<std::uint8_t>(sum >> 8);
+  segment[7] = static_cast<std::uint8_t>(sum);
+  return host.send_ip(net::IpProtocol::kUdp, dst, segment);
+}
+
+void UdpSocket::close() { layer_.close(this); }
+
+UdpSocket* UdpLayer::open(std::uint16_t local_port) {
+  if (local_port == 0) {
+    local_port = host_.allocate_ephemeral_port();
+    if (local_port == 0) return nullptr;
+  }
+  if (sockets_.contains(local_port)) return nullptr;
+  auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, local_port));
+  UdpSocket* raw = socket.get();
+  sockets_.emplace(local_port, std::move(socket));
+  return raw;
+}
+
+void UdpLayer::close(UdpSocket* socket) {
+  if (socket == nullptr) return;
+  sockets_.erase(socket->local_port());
+}
+
+bool UdpLayer::handle_datagram(const net::FrameView& v) {
+  auto it = sockets_.find(v.udp->dst_port);
+  if (it == sockets_.end()) return false;
+  UdpSocket& socket = *it->second;
+  ++socket.datagrams_received_;
+  socket.bytes_received_ += v.l4_payload.size();
+  if (socket.receiver_) {
+    socket.receiver_(v.ip->src, v.udp->src_port, v.l4_payload);
+  }
+  return true;
+}
+
+}  // namespace barb::stack

@@ -1,0 +1,30 @@
+// Invariant checking for the barbarians library.
+//
+// BARB_ASSERT is active in all build types: simulation correctness bugs must
+// fail loudly during experiments, not silently corrupt measurements. The cost
+// is negligible next to event-queue operations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace barb::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "BARB_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace barb::detail
+
+#define BARB_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::barb::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define BARB_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::barb::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

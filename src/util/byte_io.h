@@ -1,0 +1,116 @@
+// Serialization helpers for wire formats.
+//
+// All simulated protocols use network byte order (big-endian), exactly like
+// the real ones, so packet bytes in traces look like real packet bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace barb {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+  void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// Bounds-checked big-endian reader. Parsers check `ok()` (or remaining())
+// before trusting values; a short buffer flips `ok()` to false and all
+// subsequent reads return zero instead of reading out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!require(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_++];
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_++];
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!require(n)) return {};
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip(std::size_t n) { (void)bytes(n); }
+  std::span<const std::uint8_t> rest() { return bytes(remaining()); }
+
+ private:
+  bool require(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline std::string to_hex(std::span<const std::uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace barb

@@ -1,0 +1,62 @@
+// Fixed-resolution latency histogram.
+//
+// Log-ish bucketing (power-of-two microsecond buckets) keeps memory constant
+// while covering sub-microsecond to multi-second latencies, which spans the
+// range between switch forwarding delay and TCP RTO backoff.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace barb {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // bucket i covers [2^i, 2^(i+1)) ns
+
+  void add(sim::Duration d) {
+    std::int64_t ns = d.ns();
+    if (ns < 1) ns = 1;
+    int bucket = 63 - __builtin_clzll(static_cast<std::uint64_t>(ns));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    ++counts_[static_cast<std::size_t>(bucket)];
+    ++total_;
+    sum_ns_ += ns;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  double mean_ms() const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(sum_ns_) / static_cast<double>(total_) * 1e-6;
+  }
+
+  // Upper bound (ns) of the bucket containing the p-th percentile.
+  std::int64_t percentile_upper_ns(double p) const {
+    if (total_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[static_cast<std::size_t>(i)];
+      if (seen > target) return std::int64_t{1} << (i + 1);
+    }
+    return std::int64_t{1} << kBuckets;
+  }
+
+  void clear() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ns_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ns_ = 0;
+};
+
+}  // namespace barb

@@ -1,0 +1,45 @@
+// Windowed rate estimation for live measurements (bits/s or events/s).
+//
+// The experiment harness samples achieved bandwidth over explicit
+// [start, stop] windows, mirroring how iperf reports an interval average.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/assert.h"
+
+namespace barb {
+
+// Counts an additive quantity (bytes, packets) over a measurement window.
+class WindowCounter {
+ public:
+  void start(sim::TimePoint now) {
+    start_ = now;
+    running_ = true;
+    total_ = 0;
+  }
+
+  void add(std::uint64_t amount) {
+    if (running_) total_ += amount;
+  }
+
+  // Ends the window and returns the average rate in units/second.
+  double stop(sim::TimePoint now) {
+    BARB_ASSERT(running_);
+    running_ = false;
+    const double elapsed = (now - start_).to_seconds();
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(total_) / elapsed;
+  }
+
+  std::uint64_t total() const { return total_; }
+  bool running() const { return running_; }
+
+ private:
+  sim::TimePoint start_;
+  std::uint64_t total_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace barb

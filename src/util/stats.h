@@ -1,0 +1,82 @@
+// Sample statistics for experiment measurements.
+//
+// The paper averages repeated measurements per data point; we additionally
+// report standard deviation and a 95 % confidence half-width so EXPERIMENTS.md
+// can show measurement spread.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace barb {
+
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  double mean() const {
+    BARB_ASSERT(!samples_.empty());
+    return sum() / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    BARB_ASSERT(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    BARB_ASSERT(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Sample (n-1) standard deviation; 0 for fewer than two samples.
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  // Half-width of a normal-approximation 95 % confidence interval on the mean.
+  double ci95_halfwidth() const {
+    if (samples_.size() < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(samples_.size()));
+  }
+
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const {
+    BARB_ASSERT(!samples_.empty());
+    BARB_ASSERT(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace barb

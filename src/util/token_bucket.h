@@ -1,0 +1,65 @@
+// Token bucket for rate pacing.
+//
+// Used by the flood generator (packets/s pacing, like the paper's custom
+// generator) and by the ICMP error rate limiter. Tokens accrue continuously
+// in simulated time; the bucket never goes negative.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/assert.h"
+
+namespace barb {
+
+class TokenBucket {
+ public:
+  // rate: tokens per second; burst: bucket capacity in tokens (>= 1).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+    BARB_ASSERT(rate_per_sec > 0);
+    BARB_ASSERT(burst >= 1);
+  }
+
+  // Tries to consume `n` tokens at simulated time `now`.
+  bool try_consume(sim::TimePoint now, double n = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-9 < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  // Time until `n` tokens will be available (zero if available now).
+  sim::Duration time_until_available(sim::TimePoint now, double n = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-9 >= n) return sim::Duration::zero();
+    const double deficit = n - tokens_;
+    // Round up to the next nanosecond so the caller never re-polls short.
+    return sim::Duration::nanoseconds(
+        static_cast<std::int64_t>(std::ceil(deficit / rate_ * 1e9)));
+  }
+
+  double tokens(sim::TimePoint now) {
+    refill(now);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  void refill(sim::TimePoint now) {
+    if (now <= last_) return;
+    const double elapsed = (now - last_).to_seconds();
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::TimePoint last_ = sim::TimePoint::origin();
+};
+
+}  // namespace barb

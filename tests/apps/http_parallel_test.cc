@@ -1,0 +1,98 @@
+// The paper's alternative http_load methodology: fixed connection rate,
+// measure how many parallel connections the server ends up carrying.
+#include <gtest/gtest.h>
+
+#include "apps/http.h"
+#include "core/testbed.h"
+#include "testutil/fixtures.h"
+
+namespace barb::apps {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(HttpParallel, LowRateCompletesEverythingWithLittleParallelism) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.start();
+
+  HttpParallelLoadClient client(*net.a, net.b->ip());
+  HttpParallelResult result;
+  client.run(/*connections_per_sec=*/50, sim::Duration::seconds(2),
+             [&](HttpParallelResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(3));
+
+  EXPECT_NEAR(static_cast<double>(result.started), 100, 3);
+  EXPECT_GT(result.completion_fraction, 0.97);
+  // Each fetch takes ~5 ms; at 50/s that is ~0.25 connections in flight.
+  EXPECT_LT(result.mean_parallel, 1.0);
+  EXPECT_LE(result.max_parallel, 3u);
+}
+
+TEST(HttpParallel, ParallelismScalesWithConnectionRate) {
+  auto mean_parallel_at = [](double rate) {
+    sim::Simulation sim(2);
+    TwoHosts net(sim);
+    HttpServer server(*net.b, 80);
+    server.start();
+    HttpParallelLoadClient client(*net.a, net.b->ip());
+    HttpParallelResult result;
+    client.run(rate, sim::Duration::seconds(2),
+               [&](HttpParallelResult r) { result = r; });
+    sim.run_for(sim::Duration::seconds(4));
+    EXPECT_GT(result.completion_fraction, 0.9) << "rate " << rate;
+    return result.mean_parallel;
+  };
+
+  // Little's law: in-flight ~ rate * per-fetch latency.
+  const double at_50 = mean_parallel_at(50);
+  const double at_150 = mean_parallel_at(150);
+  EXPECT_NEAR(at_150 / at_50, 3.0, 0.8);
+}
+
+TEST(HttpParallel, FirewallRaisesRequiredParallelism) {
+  // Behind a deep ADF rule-set each fetch takes longer, so sustaining the
+  // same connection rate needs more concurrent connections — the metric the
+  // paper's alternative methodology would have reported.
+  auto mean_parallel_for = [](core::FirewallKind kind, int depth) {
+    sim::Simulation sim(3);
+    core::TestbedConfig cfg;
+    cfg.firewall = kind;
+    cfg.action_rule_depth = depth;
+    core::Testbed tb(sim, cfg);
+    HttpServer server(tb.target(), 80);
+    server.start();
+    HttpParallelLoadClient client(tb.client(), tb.addresses().target);
+    HttpParallelResult result;
+    client.run(100, sim::Duration::seconds(2),
+               [&](HttpParallelResult r) { result = r; });
+    sim.run_for(sim::Duration::seconds(4));
+    return result.mean_parallel;
+  };
+
+  const double baseline = mean_parallel_for(core::FirewallKind::kNone, 1);
+  const double behind_adf = mean_parallel_for(core::FirewallKind::kAdf, 64);
+  EXPECT_GT(behind_adf, baseline * 1.2);
+}
+
+TEST(HttpParallel, ParallelCapRefusesExcessConnections) {
+  sim::Simulation sim(4);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.request_service_time = sim::Duration::milliseconds(100);  // slow server
+  server.start();
+
+  HttpParallelLoadClient client(*net.a, net.b->ip());
+  HttpParallelResult result;
+  client.run(/*connections_per_sec=*/200, sim::Duration::seconds(1),
+             [&](HttpParallelResult r) { result = r; },
+             /*max_parallel=*/5);
+  sim.run_for(sim::Duration::seconds(3));
+
+  EXPECT_LE(result.max_parallel, 5u);
+  EXPECT_GT(result.errors, 50u);  // refusals beyond the cap
+}
+
+}  // namespace
+}  // namespace barb::apps

@@ -1,0 +1,133 @@
+#include "apps/http.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/fixtures.h"
+
+namespace barb::apps {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(HttpServer, ServesConfiguredPage) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.add_page("/index.html", 2048);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip(), 80, "/index.html");
+  HttpLoadResult result;
+  client.run(sim::Duration::seconds(1), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(2));
+
+  EXPECT_GT(result.fetches, 10u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.bytes, result.fetches * 2048);
+  // The server may have served one more request whose response was cut off
+  // by the end of the measurement window.
+  EXPECT_GE(server.requests_served(), result.fetches);
+  EXPECT_LE(server.requests_served(), result.fetches + 1);
+}
+
+TEST(HttpServer, UnknownPathCounts404) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip(), 80, "/nope");
+  HttpLoadResult result;
+  client.run(sim::Duration::milliseconds(100), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(result.fetches, 0u);
+  EXPECT_GT(result.errors, 0u);
+  EXPECT_GT(server.bad_requests(), 0u);
+}
+
+TEST(HttpLoad, LatencyMetricsAreConsistent) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip());
+  HttpLoadResult result;
+  client.run(sim::Duration::seconds(2), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(3));
+
+  ASSERT_GT(result.fetches, 0u);
+  // Connect is one RTT; response includes the server's 3.5 ms service time
+  // plus the 10 KB transfer.
+  EXPECT_GT(result.mean_connect_ms, 0.0);
+  EXPECT_LT(result.mean_connect_ms, 1.0);
+  EXPECT_GT(result.mean_response_ms, 3.5);
+  EXPECT_LT(result.mean_response_ms, 10.0);
+  // fetches/s consistent with the per-fetch latency budget.
+  const double per_fetch_ms = 1000.0 / result.fetches_per_sec;
+  EXPECT_GT(per_fetch_ms, result.mean_connect_ms + result.mean_response_ms - 0.5);
+}
+
+TEST(HttpLoad, FetchRateBoundedByOneConnectionSerialization) {
+  // http_load runs at most one connection at a time: the fetch rate can
+  // never exceed the reciprocal of the per-fetch latency budget.
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip());
+  HttpLoadResult result;
+  client.run(sim::Duration::seconds(2), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(3));
+
+  ASSERT_GT(result.fetches, 0u);
+  const double budget_ms = result.mean_connect_ms + result.mean_response_ms;
+  EXPECT_LE(result.fetches_per_sec, 1000.0 / budget_ms * 1.05);
+}
+
+TEST(HttpLoad, ServerServiceTimeBoundsThroughput) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.request_service_time = sim::Duration::milliseconds(10);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip());
+  HttpLoadResult result;
+  client.run(sim::Duration::seconds(2), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(3));
+  // With 10 ms service per request and one connection, at most ~100/s.
+  EXPECT_LT(result.fetches_per_sec, 100.0);
+  EXPECT_GT(result.fetches_per_sec, 60.0);
+}
+
+TEST(HttpLoad, LargePageTransfersFully) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpServer server(*net.b, 80);
+  server.add_page("/big", 200 * 1024);
+  server.start();
+
+  HttpLoadClient client(*net.a, net.b->ip(), 80, "/big");
+  HttpLoadResult result;
+  client.run(sim::Duration::seconds(2), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(3));
+  ASSERT_GT(result.fetches, 0u);
+  EXPECT_EQ(result.bytes, result.fetches * 200 * 1024);
+  EXPECT_EQ(result.errors, 0u);
+}
+
+TEST(HttpLoad, DeadServerProducesErrorsNotFetches) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  HttpLoadClient client(*net.a, net.b->ip());
+  HttpLoadResult result;
+  client.run(sim::Duration::milliseconds(500), [&](HttpLoadResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(2));
+  EXPECT_EQ(result.fetches, 0u);
+  EXPECT_GT(result.errors, 0u);
+}
+
+}  // namespace
+}  // namespace barb::apps

@@ -1,0 +1,99 @@
+#include "apps/ping.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "testutil/fixtures.h"
+
+namespace barb::apps {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(Ping, MeasuresRoundTripOnCleanLink) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  PingClient ping(*net.a, net.b->ip());
+  PingResult result;
+  ping.run(10, [&](PingResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(5));
+
+  EXPECT_EQ(result.sent, 10u);
+  EXPECT_EQ(result.received, 10u);
+  EXPECT_DOUBLE_EQ(result.loss_fraction, 0.0);
+  // Two wire traversals of a ~90-byte frame plus propagation: tens of us.
+  EXPECT_GT(result.min_rtt_ms, 0.005);
+  EXPECT_LT(result.max_rtt_ms, 1.0);
+}
+
+TEST(Ping, UnreachableTargetLosesEverything) {
+  sim::Simulation sim(2);
+  TwoHosts net(sim);
+  net.b->nic().set_host_sink(nullptr);  // black hole
+  PingClient ping(*net.a, net.b->ip());
+  PingResult result;
+  ping.run(5, [&](PingResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(result.sent, 5u);
+  EXPECT_EQ(result.received, 0u);
+  EXPECT_DOUBLE_EQ(result.loss_fraction, 1.0);
+}
+
+TEST(Ping, RttGrowsWithRuleDepth) {
+  // The firewall's rule walk is directly visible in ping RTT (the frame is
+  // serviced twice: inbound request, outbound reply).
+  auto rtt_at_depth = [](int depth) {
+    sim::Simulation sim(3);
+    core::TestbedConfig cfg;
+    cfg.firewall = core::FirewallKind::kAdf;
+    cfg.action_rule_depth = depth;
+    core::Testbed tb(sim, cfg);
+    PingClient ping(tb.client(), tb.addresses().target);
+    PingResult result;
+    ping.run(20, [&](PingResult r) { result = r; });
+    sim.run_for(sim::Duration::seconds(10));
+    EXPECT_EQ(result.received, 20u) << "depth " << depth;
+    return result.mean_rtt_ms;
+  };
+
+  const double shallow = rtt_at_depth(1);
+  const double deep = rtt_at_depth(64);
+  // Two extra walks of 63 ADF rules: ~2 * 63 * 2.92 us ~ 0.37 ms.
+  EXPECT_NEAR(deep - shallow, 0.37, 0.12);
+}
+
+TEST(Ping, WorksThroughTheVpgTunnel) {
+  // ICMP is tunneled like any other protocol between VPG members.
+  sim::Simulation sim(9);
+  core::TestbedConfig cfg;
+  cfg.firewall = core::FirewallKind::kAdfVpg;
+  cfg.action_rule_depth = 1;
+  core::Testbed tb(sim, cfg);
+  PingClient ping(tb.client(), tb.addresses().target);
+  PingResult result;
+  ping.run(5, [&](PingResult r) { result = r; });
+  sim.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(result.received, 5u);
+  // Both directions were encapsulated (request + reply per ping).
+  EXPECT_GE(tb.target_firewall()->vpg_table().stats().decapsulated, 5u);
+  EXPECT_GE(tb.target_firewall()->vpg_table().stats().encapsulated, 5u);
+}
+
+TEST(Ping, RepliesAfterTimeoutCountAsLost) {
+  // Insert a one-way delay larger than the timeout.
+  sim::Simulation sim(4);
+  link::LinkConfig slow;
+  slow.propagation = sim::Duration::milliseconds(800);
+  TwoHosts net(sim, slow);
+  PingClient ping(*net.a, net.b->ip());
+  PingResult result;
+  ping.run(3, [&](PingResult r) { result = r; },
+           /*interval=*/sim::Duration::milliseconds(100),
+           /*timeout=*/sim::Duration::seconds(1));
+  sim.run_for(sim::Duration::seconds(10));
+  EXPECT_EQ(result.sent, 3u);
+  EXPECT_EQ(result.received, 0u);  // RTT 1.6 s > 1 s timeout
+}
+
+}  // namespace
+}  // namespace barb::apps

@@ -1,0 +1,110 @@
+// The cost-model calibration, checked in code: the closed-form anchors
+// derived in DESIGN.md / profiles.h must keep holding if anyone touches the
+// constants. (The experiment-level consequences are covered by
+// experiments_test.cc; these are the arithmetic identities.)
+#include <gtest/gtest.h>
+
+#include "firewall/profiles.h"
+
+namespace barb::firewall {
+namespace {
+
+double small_frame_cost_us(const DeviceProfile& p, int rules) {
+  return (p.arrival_overhead + p.fixed + p.per_byte * 60 + p.per_rule * rules)
+      .to_microseconds();
+}
+
+double big_frame_cost_us(const DeviceProfile& p, int rules) {
+  return (p.arrival_overhead + p.fixed + p.per_byte * 1514 + p.per_rule * rules)
+      .to_microseconds();
+}
+
+TEST(Calibration, EfwOneRuleFloodAnchor) {
+  // DoS at ~45 kpps with one allow rule: t_small(1) ~ 22.2 us.
+  const auto efw = efw_profile();
+  EXPECT_NEAR(small_frame_cost_us(efw, 1), 22.2, 0.5);
+  EXPECT_NEAR(1.0 / (small_frame_cost_us(efw, 1) * 1e-6), 45000, 1500);
+}
+
+// Sustainable inbound full-size frame rate: the embedded CPU serves r data
+// frames (big) plus r/2 delayed ACKs (minimum-size) per second.
+double sustainable_fps(const DeviceProfile& p, int rules) {
+  const double t_data = big_frame_cost_us(p, rules) * 1e-6;
+  const double t_ack = small_frame_cost_us(p, rules) * 1e-6;
+  return 1.0 / (t_data + 0.5 * t_ack);
+}
+
+TEST(Calibration, EfwSixtyFourRuleBandwidthAnchor) {
+  // Paper: ~4100 full-size frames/s ~ 50 Mbps behind 64 rules.
+  const auto efw = efw_profile();
+  EXPECT_NEAR(big_frame_cost_us(efw, 64), 162.6, 4.0);
+  const double fps = sustainable_fps(efw, 64);
+  EXPECT_NEAR(fps, 4300, 250);
+  EXPECT_NEAR(fps * 1460 * 8 / 1e6, 51, 3.0);
+}
+
+TEST(Calibration, EfwShallowRuleSetsSustainLineRate) {
+  // Below ~20 rules the sustainable rate exceeds the 8127 fps line rate.
+  const auto efw = efw_profile();
+  for (int depth : {1, 8, 16, 20}) {
+    EXPECT_GT(sustainable_fps(efw, depth), 8127) << "depth " << depth;
+  }
+  // ...and clearly does not by 48.
+  EXPECT_LT(sustainable_fps(efw, 48), 8127);
+}
+
+TEST(Calibration, AdfSixtyFourRuleBandwidthAnchor) {
+  // ADF ~33 Mbps at 64 rules on the same hardware.
+  const auto adf = adf_profile();
+  EXPECT_NEAR(sustainable_fps(adf, 64) * 1460 * 8 / 1e6, 33.5, 2.0);
+  // Same base hardware as the EFW: only the matcher differs.
+  const auto efw = efw_profile();
+  EXPECT_EQ(adf.fixed.ns(), efw.fixed.ns());
+  EXPECT_EQ(adf.per_byte.ns(), efw.per_byte.ns());
+  EXPECT_EQ(adf.arrival_overhead.ns(), efw.arrival_overhead.ns());
+  EXPECT_GT(adf.per_rule.ns(), efw.per_rule.ns());
+}
+
+TEST(Calibration, MinFloodRateDerivations) {
+  // Allowed TCP flood at depth d costs the card ~2 * t_small(d) per packet
+  // (flood + its RST); the predicted depth-64 minimum is ~4 kpps, and the
+  // deny case is exactly 2x the allow case in this first-order model.
+  const auto efw = efw_profile();
+  const double allow64 = 1.0 / (2 * small_frame_cost_us(efw, 64) * 1e-6);
+  const double deny64 = 1.0 / (small_frame_cost_us(efw, 64) * 1e-6);
+  EXPECT_NEAR(allow64, 4000, 300);  // paper: ~4.5 kpps
+  EXPECT_NEAR(deny64 / allow64, 2.0, 0.01);
+}
+
+TEST(Calibration, VpgThroughputAnchor) {
+  // One-VPG ADF throughput ~55 Mbps with MSS 1428 (encapsulation headroom):
+  // data frame 1514 B carrying 1428 B of payload, crypto over inner
+  // payload + tag; ACKs are cheap VPG frames.
+  const auto adf = adf_profile();
+  const double t_data =
+      (adf.arrival_overhead + adf.fixed + adf.per_byte * 1514 + adf.per_rule * 2 +
+       adf.vpg_setup + adf.vpg_per_byte * (1428 + 20 + 16))
+          .to_microseconds();
+  const double t_ack =
+      (adf.arrival_overhead + adf.fixed + adf.per_byte * 86 + adf.per_rule * 2 +
+       adf.vpg_setup + adf.vpg_per_byte * (20 + 16))
+          .to_microseconds();
+  const double r = 1.0 / ((t_data + 0.5 * t_ack) * 1e-6);
+  EXPECT_NEAR(r * 1428 * 8 / 1e6, 55, 4.0);
+}
+
+TEST(Calibration, EfwLockupFaultConfigured) {
+  EXPECT_EQ(efw_profile().lockup_denies_per_sec, 1000u);  // paper: >1000 pps
+  EXPECT_EQ(adf_profile().lockup_denies_per_sec, 0u);     // ADF has no such fault
+}
+
+TEST(Calibration, BufferSizesMatchTheHardwareStory) {
+  // 3XP local RAM is 128 KB; we give each direction half. Byte accounting
+  // means a minimum-size flood packs ~25x more frames than full-size data.
+  const auto efw = efw_profile();
+  EXPECT_EQ(efw.rx_buffer_bytes + efw.tx_buffer_bytes, 128u * 1024u);
+  EXPECT_NEAR(1514.0 / 60.0, 25.0, 0.5);
+}
+
+}  // namespace
+}  // namespace barb::firewall

@@ -1,0 +1,51 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace barb::core {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Firewall", "Mbps"});
+  table.add_row({"EFW", "51.7"});
+  table.add_row({"ADF (VPG)", "55.4"});
+  const auto text = table.to_string();
+
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    const auto len = nl - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = nl + 1;
+  }
+  EXPECT_NE(text.find("| EFW"), std::string::npos);
+  EXPECT_NE(text.find("| Mbps"), std::string::npos);
+  EXPECT_NE(text.find("+-"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable table({"depth", "mbps"});
+  table.add_row({"1", "94.9"});
+  table.add_row({"64", "51.7"});
+  EXPECT_EQ(table.to_csv(), "depth,mbps\n1,94.9\n64,51.7\n");
+}
+
+TEST(TextTable, EmptyTableStillRenders) {
+  TextTable table({"a"});
+  EXPECT_NE(table.to_string().find("| a |"), std::string::npos);
+  EXPECT_EQ(table.to_csv(), "a\n");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(94.912), "94.9");
+  EXPECT_EQ(fmt_int(4499.7), "4500");
+  EXPECT_EQ(fmt_int(0.2), "0");
+}
+
+}  // namespace
+}  // namespace barb::core

@@ -1,0 +1,82 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/byte_io.h"
+
+namespace barb::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto mac = hmac_sha256(key, bytes_of("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 (key shorter than block).
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(bytes_of("Jefe"), bytes_of("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3 (0xaa*20 key, 0xdd*50 data).
+TEST(HmacSha256, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, KeyLongerThanBlockIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key of 0xaa.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto mac =
+      hmac_sha256(key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentMacs) {
+  const auto m1 = hmac_sha256(bytes_of("key1"), bytes_of("msg"));
+  const auto m2 = hmac_sha256(bytes_of("key2"), bytes_of("msg"));
+  EXPECT_NE(m1, m2);
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {1, 2, 3};
+  const std::vector<std::uint8_t> c = {1, 2, 4};
+  const std::vector<std::uint8_t> d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(DeriveKey, LabelsSeparateKeys) {
+  const std::vector<std::uint8_t> master(32, 0x42);
+  const auto k1 = derive_key(master, "vpg-1/tx");
+  const auto k2 = derive_key(master, "vpg-1/rx");
+  const auto k3 = derive_key(master, "vpg-1/tx");
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(k1, k3);
+}
+
+TEST(DeriveKey, MasterSeparatesKeys) {
+  const std::vector<std::uint8_t> m1(32, 0x01), m2(32, 0x02);
+  EXPECT_NE(derive_key(m1, "label"), derive_key(m2, "label"));
+}
+
+}  // namespace
+}  // namespace barb::crypto

@@ -1,0 +1,107 @@
+#include "firewall/flow_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.h"
+
+namespace barb::firewall {
+namespace {
+
+net::FiveTuple tuple(std::uint16_t src_port, std::uint16_t dst_port = 80) {
+  net::FiveTuple t;
+  t.src = net::Ipv4Address(10, 0, 0, 1);
+  t.dst = net::Ipv4Address(10, 0, 0, 2);
+  t.src_port = src_port;
+  t.dst_port = dst_port;
+  t.protocol = 6;
+  return t;
+}
+
+TEST(FlowState, MissThenInsertThenHit) {
+  FlowStateTable table;
+  const auto t0 = sim::TimePoint::origin();
+  EXPECT_FALSE(table.lookup(tuple(1000), t0));
+  table.insert(tuple(1000), t0);
+  EXPECT_TRUE(table.lookup(tuple(1000), t0));
+  EXPECT_EQ(table.stats().hits, 1u);
+  EXPECT_EQ(table.stats().misses, 1u);
+}
+
+TEST(FlowState, BothDirectionsMatchOneEntry) {
+  FlowStateTable table;
+  const auto t0 = sim::TimePoint::origin();
+  table.insert(tuple(1000), t0);
+  EXPECT_TRUE(table.lookup(tuple(1000).reversed(), t0));
+  EXPECT_EQ(table.size(), 1u);
+  // Inserting the reverse direction does not duplicate.
+  table.insert(tuple(1000).reversed(), t0);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowState, DistinctFlowsDistinctEntries) {
+  FlowStateTable table;
+  const auto t0 = sim::TimePoint::origin();
+  table.insert(tuple(1000), t0);
+  table.insert(tuple(1001), t0);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.lookup(tuple(1002), t0));
+}
+
+TEST(FlowState, IdleEntriesExpire) {
+  FlowStateConfig cfg;
+  cfg.idle_timeout = sim::Duration::seconds(10);
+  FlowStateTable table(cfg);
+  const auto t0 = sim::TimePoint::origin();
+  table.insert(tuple(1000), t0);
+  EXPECT_TRUE(table.lookup(tuple(1000), t0 + sim::Duration::seconds(9)));
+  // The hit refreshed it; 9 more seconds is still alive.
+  EXPECT_TRUE(table.lookup(tuple(1000), t0 + sim::Duration::seconds(18)));
+  // 11 idle seconds kills it.
+  EXPECT_FALSE(table.lookup(tuple(1000), t0 + sim::Duration::seconds(29)));
+  EXPECT_EQ(table.stats().expirations, 1u);
+}
+
+TEST(FlowState, LruBoundsTheTable) {
+  FlowStateConfig cfg;
+  cfg.max_entries = 4;
+  FlowStateTable table(cfg);
+  const auto t0 = sim::TimePoint::origin();
+  for (std::uint16_t p = 0; p < 10; ++p) table.insert(tuple(1000 + p), t0);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.stats().evictions, 6u);
+  // The most recent entries survived.
+  EXPECT_TRUE(table.lookup(tuple(1009), t0));
+  EXPECT_FALSE(table.lookup(tuple(1000), t0));
+}
+
+TEST(FlowState, ClearEmptiesEverything) {
+  FlowStateTable table;
+  table.insert(tuple(1), sim::TimePoint::origin());
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(tuple(1), sim::TimePoint::origin()));
+}
+
+// Integration: a stateful EFW profile erases the depth penalty for
+// legitimate traffic.
+TEST(FlowStateIntegration, StatefulNicIsDepthInsensitive) {
+  core::MeasurementOptions opt;
+  opt.window = sim::Duration::milliseconds(600);
+  opt.repetitions = 1;
+
+  core::TestbedConfig cfg;
+  cfg.firewall = core::FirewallKind::kEfw;
+  cfg.action_rule_depth = 64;
+  const double stateless = core::measure_available_bandwidth(cfg, opt).mean();
+
+  auto profile = efw_profile();
+  profile.stateful = true;
+  cfg.profile_override = profile;
+  const double stateful = core::measure_available_bandwidth(cfg, opt).mean();
+
+  EXPECT_LT(stateless, 60.0);  // the paper's 64-rule penalty
+  EXPECT_GT(stateful, 90.0);   // erased by flow state
+}
+
+}  // namespace
+}  // namespace barb::firewall

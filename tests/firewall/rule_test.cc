@@ -1,0 +1,114 @@
+#include "firewall/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace barb::firewall {
+namespace {
+
+net::FiveTuple tuple(const char* src, std::uint16_t sport, const char* dst,
+                     std::uint16_t dport, std::uint8_t proto = 6) {
+  net::FiveTuple t;
+  t.src = *net::Ipv4Address::parse(src);
+  t.dst = *net::Ipv4Address::parse(dst);
+  t.src_port = sport;
+  t.dst_port = dport;
+  t.protocol = proto;
+  return t;
+}
+
+TEST(Rule, EmptyRuleMatchesEverything) {
+  Rule r;
+  r.action = RuleAction::kAllow;
+  EXPECT_TRUE(r.matches(tuple("10.0.0.1", 1234, "10.0.0.2", 80)));
+  EXPECT_TRUE(r.matches(tuple("192.168.1.1", 1, "172.16.0.1", 2, 17)));
+}
+
+TEST(Rule, ProtocolSelector) {
+  Rule r;
+  r.protocol = 6;  // tcp
+  EXPECT_TRUE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 2, 6)));
+  EXPECT_FALSE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 2, 17)));
+}
+
+TEST(Rule, SourceSubnetSelector) {
+  Rule r;
+  r.src_net = net::Ipv4Address(10, 1, 0, 0);
+  r.src_prefix = 16;
+  r.bidirectional = false;
+  EXPECT_TRUE(r.matches(tuple("10.1.2.3", 1, "10.9.9.9", 2)));
+  EXPECT_FALSE(r.matches(tuple("10.2.2.3", 1, "10.9.9.9", 2)));
+}
+
+TEST(Rule, DestinationHostSelector) {
+  Rule r;
+  r.dst_net = net::Ipv4Address(10, 0, 0, 40);
+  r.dst_prefix = 32;
+  r.bidirectional = false;
+  EXPECT_TRUE(r.matches(tuple("10.0.0.1", 1, "10.0.0.40", 2)));
+  EXPECT_FALSE(r.matches(tuple("10.0.0.1", 1, "10.0.0.41", 2)));
+}
+
+TEST(Rule, PortRangeSelector) {
+  Rule r;
+  r.dst_ports = PortRange{80, 90};
+  r.bidirectional = false;
+  EXPECT_TRUE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 80)));
+  EXPECT_TRUE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 90)));
+  EXPECT_FALSE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 91)));
+  EXPECT_FALSE(r.matches(tuple("10.0.0.1", 1, "10.0.0.2", 79)));
+}
+
+TEST(Rule, PortRangeAnyAcceptsZero) {
+  PortRange any;
+  EXPECT_TRUE(any.any());
+  EXPECT_TRUE(any.contains(0));
+  EXPECT_TRUE(any.contains(65535));
+  PortRange one{80, 80};
+  EXPECT_FALSE(one.any());
+  EXPECT_TRUE(one.contains(80));
+  EXPECT_FALSE(one.contains(0));
+}
+
+TEST(Rule, BidirectionalMatchesReversedTuple) {
+  Rule r;
+  r.src_net = net::Ipv4Address(10, 0, 0, 30);
+  r.src_prefix = 32;
+  r.dst_net = net::Ipv4Address(10, 0, 0, 40);
+  r.dst_prefix = 32;
+  r.dst_ports = PortRange{80, 80};
+
+  // Forward: client -> server:80.
+  EXPECT_TRUE(r.matches(tuple("10.0.0.30", 5555, "10.0.0.40", 80)));
+  // Reverse: server:80 -> client (the response direction).
+  EXPECT_TRUE(r.matches(tuple("10.0.0.40", 80, "10.0.0.30", 5555)));
+  // A tuple matching neither direction.
+  EXPECT_FALSE(r.matches(tuple("10.0.0.40", 81, "10.0.0.30", 5555)));
+
+  r.bidirectional = false;
+  EXPECT_FALSE(r.matches(tuple("10.0.0.40", 80, "10.0.0.30", 5555)));
+}
+
+TEST(Rule, VpgRuleCostsTwoUnits) {
+  Rule vpg;
+  vpg.action = RuleAction::kVpg;
+  EXPECT_EQ(vpg.cost_units(), 2);
+  Rule allow;
+  allow.action = RuleAction::kAllow;
+  EXPECT_EQ(allow.cost_units(), 1);
+  Rule deny;
+  deny.action = RuleAction::kDeny;
+  EXPECT_EQ(deny.cost_units(), 1);
+}
+
+TEST(Rule, ToStringIsReadable) {
+  Rule r;
+  r.action = RuleAction::kAllow;
+  r.protocol = 6;
+  r.dst_net = net::Ipv4Address(10, 0, 0, 40);
+  r.dst_prefix = 32;
+  r.dst_ports = PortRange{80, 80};
+  EXPECT_EQ(r.to_string(), "allow tcp from any to 10.0.0.40 port 80");
+}
+
+}  // namespace
+}  // namespace barb::firewall

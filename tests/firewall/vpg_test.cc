@@ -1,0 +1,206 @@
+#include "firewall/vpg.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/packet_builder.h"
+
+namespace barb::firewall {
+namespace {
+
+std::vector<std::uint8_t> master_key(std::uint8_t fill = 0x11) {
+  return std::vector<std::uint8_t>(32, fill);
+}
+
+std::vector<std::uint8_t> make_udp_frame(const std::string& payload_text) {
+  net::IpEndpoints ep;
+  ep.src_ip = net::Ipv4Address(10, 0, 0, 30);
+  ep.dst_ip = net::Ipv4Address(10, 0, 0, 40);
+  ep.src_mac = net::MacAddress::from_host_id(30);
+  ep.dst_mac = net::MacAddress::from_host_id(40);
+  std::vector<std::uint8_t> payload(payload_text.begin(), payload_text.end());
+  return net::build_udp_frame(ep, 5000, 5001, payload);
+}
+
+TEST(Vpg, EncapDecapRoundTrip) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+
+  auto frame = make_udp_frame("secret datagram");
+  const auto original = frame;
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+
+  // On the wire the frame is protocol 250 and the payload is unreadable.
+  auto view = net::FrameView::parse(frame);
+  ASSERT_TRUE(view && view->ip);
+  EXPECT_EQ(view->ip->protocol, 250);
+  ASSERT_TRUE(view->vpg);
+  EXPECT_EQ(view->vpg->vpg_id, 7u);
+  EXPECT_EQ(view->vpg->orig_protocol, 17);
+  const std::string wire(frame.begin(), frame.end());
+  EXPECT_EQ(wire.find("secret datagram"), std::string::npos);
+
+  ASSERT_TRUE(receiver.decapsulate(frame));
+  // Restored frame parses back to the original UDP packet.
+  auto restored = net::FrameView::parse(frame);
+  ASSERT_TRUE(restored && restored->udp);
+  EXPECT_EQ(restored->udp->dst_port, 5001);
+  EXPECT_EQ(std::string(restored->l4_payload.begin(), restored->l4_payload.end()),
+            "secret datagram");
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Vpg, DifferentKeysFailAuthentication) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key(0x11));
+  receiver.install(7, master_key(0x22));
+
+  auto frame = make_udp_frame("x");
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+  EXPECT_FALSE(receiver.decapsulate(frame));
+  EXPECT_EQ(receiver.stats().auth_failures, 1u);
+}
+
+TEST(Vpg, TamperedFrameRejected) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+
+  auto frame = make_udp_frame("payload");
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+  frame[frame.size() - 3] ^= 0x01;  // flip a ciphertext/tag bit
+  EXPECT_FALSE(receiver.decapsulate(frame));
+  EXPECT_EQ(receiver.stats().auth_failures, 1u);
+}
+
+TEST(Vpg, HeaderTamperRejected) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(9, master_key());  // receiver knows a different group
+
+  auto frame = make_udp_frame("payload");
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+  // Rewriting the vpg id to 9 must fail: the header is authenticated (AAD)
+  // and the nonce binds the id.
+  frame[net::EthernetHeader::kSize + net::Ipv4Header::kSize + 3] = 9;
+  EXPECT_FALSE(receiver.decapsulate(frame));
+}
+
+TEST(Vpg, UnknownGroupRejected) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  auto frame = make_udp_frame("x");
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+  EXPECT_FALSE(receiver.decapsulate(frame));
+  EXPECT_EQ(receiver.stats().unknown_vpg, 1u);
+  EXPECT_FALSE(sender.encapsulate(42, frame));
+  EXPECT_EQ(sender.stats().unknown_vpg, 1u);
+}
+
+TEST(Vpg, ReplayedFrameDropped) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+
+  auto frame = make_udp_frame("once");
+  ASSERT_TRUE(sender.encapsulate(7, frame));
+  auto replay = frame;
+  ASSERT_TRUE(receiver.decapsulate(frame));
+  EXPECT_FALSE(receiver.decapsulate(replay));
+  EXPECT_EQ(receiver.stats().replays_dropped, 1u);
+}
+
+TEST(Vpg, OutOfOrderWithinWindowAccepted) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+
+  // Seal three frames (seq 1, 2, 3), deliver 3 first, then 1 and 2.
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 3; ++i) {
+    auto f = make_udp_frame("frame " + std::to_string(i));
+    EXPECT_TRUE(sender.encapsulate(7, f));
+    frames.push_back(std::move(f));
+  }
+  EXPECT_TRUE(receiver.decapsulate(frames[2]));
+  EXPECT_TRUE(receiver.decapsulate(frames[0]));
+  EXPECT_TRUE(receiver.decapsulate(frames[1]));
+  EXPECT_EQ(receiver.stats().decapsulated, 3u);
+}
+
+TEST(Vpg, AncientSequenceOutsideWindowDropped) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+
+  auto old_frame = make_udp_frame("old");
+  ASSERT_TRUE(sender.encapsulate(7, old_frame));  // seq 1
+  // Advance the sender far beyond the 64-entry replay window.
+  for (int i = 0; i < 100; ++i) {
+    auto f = make_udp_frame("fill");
+    ASSERT_TRUE(sender.encapsulate(7, f));
+    ASSERT_TRUE(receiver.decapsulate(f));
+  }
+  EXPECT_FALSE(receiver.decapsulate(old_frame));
+  EXPECT_EQ(receiver.stats().replays_dropped, 1u);
+}
+
+TEST(Vpg, OversizedFrameRefused) {
+  VpgTable sender;
+  sender.install(7, master_key());
+  // A maximum-size frame has no headroom for the 32-byte encapsulation.
+  net::IpEndpoints ep;
+  ep.src_ip = net::Ipv4Address(10, 0, 0, 30);
+  ep.dst_ip = net::Ipv4Address(10, 0, 0, 40);
+  ep.src_mac = net::MacAddress::from_host_id(30);
+  ep.dst_mac = net::MacAddress::from_host_id(40);
+  std::vector<std::uint8_t> payload(
+      net::kEthernetMtu - net::Ipv4Header::kSize - net::UdpHeader::kSize, 0x5a);
+  auto frame = net::build_udp_frame(ep, 1, 2, payload);
+  EXPECT_FALSE(sender.encapsulate(7, frame));
+}
+
+TEST(Vpg, SequenceNumbersAdvancePerFrame) {
+  VpgTable sender;
+  sender.install(7, master_key());
+  std::uint64_t last_seq = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto frame = make_udp_frame("x");
+    ASSERT_TRUE(sender.encapsulate(7, frame));
+    auto view = net::FrameView::parse(frame);
+    ASSERT_TRUE(view && view->vpg);
+    EXPECT_EQ(view->vpg->seq, last_seq + 1);
+    last_seq = view->vpg->seq;
+  }
+}
+
+TEST(Vpg, ReinstallResetsGroupState) {
+  VpgTable sender, receiver;
+  sender.install(7, master_key());
+  receiver.install(7, master_key());
+  auto f1 = make_udp_frame("a");
+  ASSERT_TRUE(sender.encapsulate(7, f1));
+  ASSERT_TRUE(receiver.decapsulate(f1));
+
+  // Re-keying the group resets sequence/replay state.
+  sender.install(7, master_key(0x33));
+  receiver.install(7, master_key(0x33));
+  auto f2 = make_udp_frame("b");
+  ASSERT_TRUE(sender.encapsulate(7, f2));
+  EXPECT_TRUE(receiver.decapsulate(f2));
+}
+
+TEST(Vpg, RemoveForgetsGroup) {
+  VpgTable table;
+  table.install(7, master_key());
+  EXPECT_TRUE(table.has(7));
+  table.remove(7);
+  EXPECT_FALSE(table.has(7));
+  auto frame = make_udp_frame("x");
+  EXPECT_FALSE(table.encapsulate(7, frame));
+}
+
+}  // namespace
+}  // namespace barb::firewall

@@ -1,0 +1,114 @@
+#include "link/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/packet_builder.h"
+#include "sim/simulation.h"
+#include "util/byte_io.h"
+
+namespace barb::link {
+namespace {
+
+net::Packet sample_packet(sim::TimePoint at, std::uint64_t id = 0) {
+  net::IpEndpoints ep;
+  ep.src_ip = net::Ipv4Address(10, 0, 0, 1);
+  ep.dst_ip = net::Ipv4Address(10, 0, 0, 2);
+  ep.src_mac = net::MacAddress::from_host_id(1);
+  ep.dst_mac = net::MacAddress::from_host_id(2);
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  return net::Packet{net::build_udp_frame(ep, 1000, 2000, payload), at, id};
+}
+
+struct CountingSink : FrameSink {
+  int delivered = 0;
+  void deliver(net::Packet) override { ++delivered; }
+};
+
+TEST(FrameTap, RecordsAndForwards) {
+  CountingSink downstream;
+  FrameTap tap(&downstream);
+  tap.deliver(sample_packet(sim::TimePoint::from_ns(1000)));
+  tap.deliver(sample_packet(sim::TimePoint::from_ns(2000)));
+  EXPECT_EQ(downstream.delivered, 2);
+  ASSERT_EQ(tap.frames().size(), 2u);
+  EXPECT_EQ(tap.frames()[0].at.ns(), 1000);
+  EXPECT_EQ(tap.frames()[1].at.ns(), 2000);
+  EXPECT_EQ(tap.frames_seen(), 2u);
+}
+
+TEST(FrameTap, PureSnifferNeedsNoDownstream) {
+  FrameTap tap;
+  tap.deliver(sample_packet(sim::TimePoint::origin()));
+  EXPECT_EQ(tap.frames().size(), 1u);
+}
+
+TEST(FrameTap, CapBoundsMemoryButKeepsCounting) {
+  FrameTap tap(nullptr, /*max_frames=*/3);
+  for (int i = 0; i < 10; ++i) tap.deliver(sample_packet(sim::TimePoint::origin()));
+  EXPECT_EQ(tap.frames().size(), 3u);
+  EXPECT_EQ(tap.frames_seen(), 10u);
+}
+
+TEST(FrameTap, PcapFormatIsWellFormed) {
+  FrameTap tap;
+  const auto at = sim::TimePoint::from_ns(1'500'000'000 + 123'456'000);  // 1.5s+123.456ms
+  tap.deliver(sample_packet(at));
+  const auto pcap = tap.to_pcap();
+
+  const auto frame_size = tap.frames()[0].data.size();
+  ASSERT_EQ(pcap.size(), 24 + 16 + frame_size);
+
+  // Little-endian global header fields.
+  auto le32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(pcap[off]) |
+           static_cast<std::uint32_t>(pcap[off + 1]) << 8 |
+           static_cast<std::uint32_t>(pcap[off + 2]) << 16 |
+           static_cast<std::uint32_t>(pcap[off + 3]) << 24;
+  };
+  EXPECT_EQ(le32_at(0), 0xa1b2c3d4u);  // magic
+  EXPECT_EQ(pcap[4], 2);               // version major
+  EXPECT_EQ(le32_at(20), 1u);          // LINKTYPE_ETHERNET
+
+  // Record header: seconds, microseconds, lengths.
+  EXPECT_EQ(le32_at(24), 1u);
+  EXPECT_EQ(le32_at(28), 623456u);
+  EXPECT_EQ(le32_at(32), frame_size);
+  EXPECT_EQ(le32_at(36), frame_size);
+  // Frame bytes follow verbatim.
+  EXPECT_TRUE(std::equal(tap.frames()[0].data.begin(), tap.frames()[0].data.end(),
+                         pcap.begin() + 40));
+}
+
+TEST(FrameTap, WritesPcapFile) {
+  FrameTap tap;
+  tap.deliver(sample_packet(sim::TimePoint::from_ns(42)));
+  const std::string path = ::testing::TempDir() + "/barb_tap_test.pcap";
+  ASSERT_TRUE(tap.write_pcap(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::uint8_t magic[4];
+  ASSERT_EQ(std::fread(magic, 1, 4, f), 4u);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(magic[0], 0xd4);
+  EXPECT_EQ(magic[3], 0xa1);
+}
+
+TEST(FrameTap, WriteToBadPathFails) {
+  FrameTap tap;
+  EXPECT_FALSE(tap.write_pcap("/nonexistent-dir/x/y.pcap"));
+}
+
+TEST(FrameTap, ClearDropsRecordingOnly) {
+  FrameTap tap;
+  tap.deliver(sample_packet(sim::TimePoint::origin()));
+  tap.clear();
+  EXPECT_TRUE(tap.frames().empty());
+  EXPECT_EQ(tap.frames_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace barb::link

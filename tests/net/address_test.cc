@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4_address.h"
+#include "net/mac_address.h"
+
+namespace barb::net {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("10.1.2.3");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0x0a010203u);
+  EXPECT_EQ(a->to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1..2.3", "a.b.c.d",
+                          "1.2.3.4 ", " 1.2.3.4", "1.2.3.-4", "1.2.3.4x", "1234.1.1.1"}) {
+    EXPECT_FALSE(Ipv4Address::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv4Address, ConstructFromOctets) {
+  const Ipv4Address a(192, 168, 1, 10);
+  EXPECT_EQ(a.to_string(), "192.168.1.10");
+  EXPECT_EQ(a, *Ipv4Address::parse("192.168.1.10"));
+}
+
+TEST(Ipv4Address, SubnetMembership) {
+  const auto net = Ipv4Address(10, 0, 0, 0);
+  EXPECT_TRUE(Ipv4Address(10, 0, 0, 5).in_subnet(net, 8));
+  EXPECT_TRUE(Ipv4Address(10, 255, 255, 255).in_subnet(net, 8));
+  EXPECT_FALSE(Ipv4Address(11, 0, 0, 1).in_subnet(net, 8));
+  EXPECT_TRUE(Ipv4Address(10, 0, 0, 5).in_subnet(Ipv4Address(10, 0, 0, 4), 30));
+  EXPECT_FALSE(Ipv4Address(10, 0, 0, 8).in_subnet(Ipv4Address(10, 0, 0, 4), 30));
+  EXPECT_TRUE(Ipv4Address(1, 2, 3, 4).in_subnet(net, 0));        // /0 matches all
+  EXPECT_TRUE(Ipv4Address(10, 0, 0, 1).in_subnet(Ipv4Address(10, 0, 0, 1), 32));
+  EXPECT_FALSE(Ipv4Address(10, 0, 0, 2).in_subnet(Ipv4Address(10, 0, 0, 1), 32));
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_TRUE(Ipv4Address::any().is_any());
+  EXPECT_FALSE(Ipv4Address(1, 0, 0, 0).is_any());
+}
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  auto m = MacAddress::parse("02:00:ab:cd:ef:01");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "02:00:ab:cd:ef:01");
+  EXPECT_EQ(MacAddress::parse(m->to_string()), *m);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "02:00:ab:cd:ef", "02:00:ab:cd:ef:01:02", "02-00-ab-cd-ef-01",
+        "02:00:ab:cd:ef:0g", "0200abcdef01", "02:00:ab:cd:ef:01 "}) {
+    EXPECT_FALSE(MacAddress::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(MacAddress, BroadcastAndMulticastBits) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  const auto unicast = MacAddress::from_host_id(3);
+  EXPECT_FALSE(unicast.is_broadcast());
+  EXPECT_FALSE(unicast.is_multicast());
+}
+
+TEST(MacAddress, FromHostIdIsInjective) {
+  EXPECT_NE(MacAddress::from_host_id(1), MacAddress::from_host_id(2));
+  EXPECT_NE(MacAddress::from_host_id(1), MacAddress::from_host_id(256 + 1));
+  EXPECT_EQ(MacAddress::from_host_id(7), MacAddress::from_host_id(7));
+}
+
+TEST(MacAddress, HashDistinguishes) {
+  const std::hash<MacAddress> h;
+  EXPECT_NE(h(MacAddress::from_host_id(1)), h(MacAddress::from_host_id(2)));
+}
+
+}  // namespace
+}  // namespace barb::net

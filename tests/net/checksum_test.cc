@@ -1,0 +1,86 @@
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace barb::net {
+namespace {
+
+// RFC 1071 worked example: the checksum of this sequence is well known.
+TEST(Checksum, Rfc1071Example) {
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold -> 0xddf2 -> ~ = 0x220d
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroDataChecksumIsAllOnes) {
+  const std::vector<std::uint8_t> data(10, 0);
+  EXPECT_EQ(internet_checksum(data), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0xab, 0x00};
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0xab};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+// Property: inserting the computed checksum into the data yields a verify sum
+// of zero — this is exactly how IP header verification works.
+TEST(Checksum, SelfVerifyingProperty) {
+  sim::Random rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(20 + rng.uniform(60) * 2);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    data[10] = 0;
+    data[11] = 0;
+    const std::uint16_t sum = internet_checksum(data);
+    data[10] = static_cast<std::uint8_t>(sum >> 8);
+    data[11] = static_cast<std::uint8_t>(sum);
+    EXPECT_EQ(internet_checksum(data), 0);
+  }
+}
+
+TEST(Checksum, AccumulateIsAssociative) {
+  sim::Random rng(33);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint16_t whole = internet_checksum(data);
+  // Split at an even offset: accumulation must agree.
+  const auto acc1 = checksum_accumulate(std::span(data).first(32));
+  const auto acc2 = checksum_accumulate(std::span(data).subspan(32), acc1);
+  EXPECT_EQ(checksum_finish(acc2), whole);
+}
+
+TEST(TransportChecksum, DetectsCorruption) {
+  sim::Random rng(35);
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  std::vector<std::uint8_t> segment(40);
+  for (auto& b : segment) b = static_cast<std::uint8_t>(rng.next_u64());
+  segment[16] = segment[17] = 0;  // TCP checksum field offset
+  const std::uint16_t sum = transport_checksum(src, dst, 6, segment);
+  segment[16] = static_cast<std::uint8_t>(sum >> 8);
+  segment[17] = static_cast<std::uint8_t>(sum);
+  // Verification: checksum over segment with pseudo-header must be 0.
+  EXPECT_EQ(transport_checksum(src, dst, 6, segment), 0);
+  // Any single-byte corruption is detected.
+  for (std::size_t i = 0; i < segment.size(); ++i) {
+    auto bad = segment;
+    bad[i] ^= 0x5a;
+    EXPECT_NE(transport_checksum(src, dst, 6, bad), 0) << "byte " << i;
+  }
+}
+
+TEST(TransportChecksum, PseudoHeaderBindsAddressesAndProtocol) {
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 0, 2);
+  const std::vector<std::uint8_t> segment(20, 0x11);
+  const auto base = transport_checksum(src, dst, 6, segment);
+  EXPECT_NE(base, transport_checksum(Ipv4Address(10, 0, 0, 3), dst, 6, segment));
+  EXPECT_NE(base, transport_checksum(src, Ipv4Address(10, 0, 0, 3), 6, segment));
+  EXPECT_NE(base, transport_checksum(src, dst, 17, segment));
+}
+
+}  // namespace
+}  // namespace barb::net

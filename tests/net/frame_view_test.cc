@@ -1,0 +1,141 @@
+#include "net/frame_view.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/packet_builder.h"
+
+namespace barb::net {
+namespace {
+
+IpEndpoints endpoints() {
+  IpEndpoints ep;
+  ep.src_ip = Ipv4Address(10, 0, 0, 1);
+  ep.dst_ip = Ipv4Address(10, 0, 0, 2);
+  ep.src_mac = MacAddress::from_host_id(1);
+  ep.dst_mac = MacAddress::from_host_id(2);
+  return ep;
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(FrameView, ParsesUdpFrame) {
+  const auto payload = bytes_of("hello world");
+  const auto frame = build_udp_frame(endpoints(), 5000, 5001, payload);
+  // Short payload: the frame must be padded to the Ethernet minimum.
+  EXPECT_EQ(frame.size(), kEthernetMinFrameNoFcs);
+
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->ip.has_value());
+  EXPECT_EQ(v->ip->src, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(v->ip->protocol, static_cast<std::uint8_t>(IpProtocol::kUdp));
+  ASSERT_TRUE(v->udp.has_value());
+  EXPECT_EQ(v->udp->src_port, 5000);
+  EXPECT_EQ(v->udp->dst_port, 5001);
+  // Padding must not leak into the payload view.
+  EXPECT_EQ(std::string(v->l4_payload.begin(), v->l4_payload.end()), "hello world");
+}
+
+TEST(FrameView, ParsesTcpFrame) {
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 80;
+  tcp.seq = 100;
+  tcp.flags = TcpFlags::kSyn;
+  tcp.window = 65535;
+  tcp.mss = 1460;
+  const auto frame = build_tcp_frame(endpoints(), tcp, {});
+
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->tcp.has_value());
+  EXPECT_TRUE(v->tcp->syn());
+  EXPECT_EQ(v->tcp->seq, 100u);
+  ASSERT_TRUE(v->tcp->mss.has_value());
+  EXPECT_EQ(*v->tcp->mss, 1460);
+  EXPECT_TRUE(v->l4_payload.empty());
+}
+
+TEST(FrameView, ParsesIcmpFrame) {
+  const auto inner = bytes_of("original datagram prefix");
+  const auto frame = build_icmp_frame(
+      endpoints(), static_cast<std::uint8_t>(IcmpType::kDestinationUnreachable),
+      kIcmpCodePortUnreachable, 0, inner);
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->icmp.has_value());
+  EXPECT_EQ(v->icmp->type, 3);
+  EXPECT_EQ(v->icmp->code, 3);
+}
+
+TEST(FrameView, FiveTupleMatchesBuilder) {
+  const auto frame = build_udp_frame(endpoints(), 1234, 80, bytes_of("x"));
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  auto t = v->five_tuple();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->src, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(t->dst, Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(t->src_port, 1234);
+  EXPECT_EQ(t->dst_port, 80);
+  EXPECT_EQ(t->protocol, 17);
+  // reversed() swaps both addresses and ports.
+  const auto rev = t->reversed();
+  EXPECT_EQ(rev.src, t->dst);
+  EXPECT_EQ(rev.src_port, t->dst_port);
+  EXPECT_EQ(rev.dst_port, t->src_port);
+}
+
+TEST(FrameView, NonIpFrameParsesEthernetOnly) {
+  std::vector<std::uint8_t> frame(60, 0);
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP ethertype
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->is_ipv4());
+  EXPECT_FALSE(v->five_tuple().has_value());
+}
+
+TEST(FrameView, CorruptIpHeaderYieldsNoIpLayer) {
+  auto frame = build_udp_frame(endpoints(), 1, 2, bytes_of("abc"));
+  frame[EthernetHeader::kSize + 8] ^= 0xff;  // corrupt TTL -> checksum fails
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->ip.has_value());
+}
+
+TEST(FrameView, TruncatedTransportYieldsNoL4) {
+  // IP total_length claims more TCP bytes than the frame carries.
+  TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  auto frame = build_tcp_frame(endpoints(), tcp, {});
+  frame.resize(EthernetHeader::kSize + Ipv4Header::kSize + 10);
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->ip.has_value());  // total_length no longer fits the frame
+}
+
+TEST(FrameView, TruncatedEthernetFails) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(FrameView::parse(tiny).has_value());
+}
+
+TEST(FrameView, MaxSizeFrameParses) {
+  std::vector<std::uint8_t> payload(kEthernetMtu - Ipv4Header::kSize - UdpHeader::kSize,
+                                    0x5a);
+  const auto frame = build_udp_frame(endpoints(), 9, 10, payload);
+  EXPECT_EQ(frame.size(), kEthernetMaxFrameNoFcs);
+  auto v = FrameView::parse(frame);
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->udp.has_value());
+  EXPECT_EQ(v->l4_payload.size(), payload.size());
+}
+
+}  // namespace
+}  // namespace barb::net

@@ -1,0 +1,96 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace barb::sim {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Random, UniformStaysInBound) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(17), 17u);
+  }
+}
+
+TEST(Random, UniformIntCoversInclusiveRange) {
+  Random r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Random, UniformRealInHalfOpenUnit) {
+  Random r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+// Property sweep: sample means of standard distributions land near their
+// analytic values for a range of seeds.
+class RandomMoments : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMoments, UniformRealMeanNearHalf) {
+  Random r(GetParam());
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform_real();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RandomMoments, ExponentialMeanMatches) {
+  Random r(GetParam());
+  const double mean = 3.5;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, 0.25);
+}
+
+TEST_P(RandomMoments, NormalMeanAndVarianceMatch) {
+  Random r(GetParam());
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  EXPECT_NEAR(m, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+TEST_P(RandomMoments, BernoulliFrequencyMatches) {
+  Random r(GetParam());
+  const int n = 20000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMoments,
+                         ::testing::Values(1u, 42u, 1234567u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace barb::sim

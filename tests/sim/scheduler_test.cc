@@ -1,0 +1,120 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace barb::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(TimePoint::from_ns(30), [&] { order.push_back(3); });
+  s.schedule_at(TimePoint::from_ns(10), [&] { order.push_back(1); });
+  s.schedule_at(TimePoint::from_ns(20), [&] { order.push_back(2); });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now().ns(), 30);
+}
+
+TEST(Scheduler, SameTimeEventsFireInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(5);
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  while (s.run_one()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, CancelledEventDoesNotRun) {
+  Scheduler s;
+  bool ran = false;
+  auto h = s.schedule_at(TimePoint::from_ns(10), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  while (s.run_one()) {
+  }
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  auto h = s.schedule_at(TimePoint::from_ns(1), [] {});
+  while (s.run_one()) {
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Scheduler, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_at(s.now() + Duration::nanoseconds(1), chain);
+  };
+  s.schedule_at(TimePoint::from_ns(0), chain);
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now().ns(), 4);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule(Duration::milliseconds(10), [&] { fired.push_back(1); });
+  sim.schedule(Duration::milliseconds(30), [&] { fired.push_back(2); });
+  sim.run_until(TimePoint::origin() + Duration::milliseconds(20));
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, EventAtExactBoundaryRuns) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule(Duration::seconds(1), [&] { ran = true; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(1));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Duration::nanoseconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, RunForAdvancesRelativeToNow) {
+  Simulation sim;
+  sim.run_for(Duration::seconds(2));
+  EXPECT_EQ(sim.now().to_seconds(), 2.0);
+  sim.run_for(Duration::seconds(3));
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace barb::sim

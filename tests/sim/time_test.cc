@@ -1,0 +1,73 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace barb::sim {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanoseconds(42).ns(), 42);
+  EXPECT_EQ(Duration::seconds(3), Duration::milliseconds(3000));
+}
+
+TEST(Duration, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(0.9999999996e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(-2.5e-9).ns(), -3);  // half away from zero
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::milliseconds(5);
+  const Duration b = Duration::milliseconds(3);
+  EXPECT_EQ((a + b).ns(), 8'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000);
+  EXPECT_EQ((a * 2).ns(), 10'000'000);
+  EXPECT_EQ((a / 5).ns(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 5.0 / 3.0);
+  EXPECT_EQ((-a).ns(), -5'000'000);
+}
+
+TEST(Duration, ScalarDoubleMultiply) {
+  EXPECT_EQ((Duration::seconds(2) * 0.25).ns(), 500'000'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::microseconds(999), Duration::milliseconds(1));
+  EXPECT_GT(Duration::seconds(1), Duration::milliseconds(999));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+}
+
+TEST(Duration, Conversions) {
+  const Duration d = Duration::microseconds(1500);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 0.0015);
+  EXPECT_DOUBLE_EQ(d.to_milliseconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_microseconds(), 1500.0);
+}
+
+TEST(Duration, ToStringPicksLargestExactUnit) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::milliseconds(250).to_string(), "250ms");
+  EXPECT_EQ(Duration::microseconds(15).to_string(), "15us");
+  EXPECT_EQ(Duration::nanoseconds(7).to_string(), "7ns");
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::seconds(2);
+  EXPECT_EQ((t1 - t0), Duration::seconds(2));
+  EXPECT_EQ((t1 - Duration::seconds(2)), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, FromNsRoundTrip) {
+  const TimePoint t = TimePoint::from_ns(123456789);
+  EXPECT_EQ(t.ns(), 123456789);
+  EXPECT_NEAR(t.to_seconds(), 0.123456789, 1e-12);
+}
+
+}  // namespace
+}  // namespace barb::sim

@@ -1,0 +1,141 @@
+// StandardNic and Host plumbing details not covered by the protocol tests.
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.h"
+#include "stack/tcp.h"
+#include "stack/udp.h"
+#include "testutil/fixtures.h"
+
+namespace barb::stack {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(StandardNic, CountsTxAndRx) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  auto* sock = net.a->udp_open(0);
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  sock->send_to(net.b->ip(), 9, data);
+  sim.run();
+  EXPECT_EQ(net.a->nic().stats().tx_requested, 1u);
+  EXPECT_EQ(net.a->nic().stats().tx_sent, 1u);
+  EXPECT_EQ(net.b->nic().stats().rx_frames, 1u);
+  EXPECT_EQ(net.b->nic().stats().rx_delivered, 1u);
+}
+
+TEST(StandardNic, DropsFramesForOtherMacs) {
+  sim::Simulation sim(2);
+  TwoHosts net(sim);
+  net::IpEndpoints ep;
+  ep.src_ip = net.a->ip();
+  ep.dst_ip = net.b->ip();
+  ep.src_mac = net.a->mac();
+  ep.dst_mac = net::MacAddress::from_host_id(77);  // nobody
+  const std::vector<std::uint8_t> payload{1};
+  net.a->nic().transmit({net::build_udp_frame(ep, 1, 2, payload), sim.now(), 0});
+  sim.run();
+  EXPECT_EQ(net.b->nic().stats().rx_frames, 1u);
+  EXPECT_EQ(net.b->nic().stats().rx_dropped, 1u);
+  EXPECT_EQ(net.b->nic().stats().rx_delivered, 0u);
+}
+
+TEST(StandardNic, AcceptsBroadcastFrames) {
+  sim::Simulation sim(3);
+  TwoHosts net(sim);
+  int received = 0;
+  auto* sock = net.b->udp_open(67);
+  sock->set_receiver([&received](net::Ipv4Address, std::uint16_t,
+                                 std::span<const std::uint8_t>) { ++received; });
+
+  net::IpEndpoints ep;
+  ep.src_ip = net.a->ip();
+  ep.dst_ip = net::Ipv4Address::broadcast();
+  ep.src_mac = net.a->mac();
+  ep.dst_mac = net::MacAddress::broadcast();
+  const std::vector<std::uint8_t> payload{0x44};
+  net.a->nic().transmit({net::build_udp_frame(ep, 68, 67, payload), sim.now(), 0});
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(StandardNic, TransmitWithoutLinkCountsDrop) {
+  sim::Simulation sim(4);
+  StandardNic nic(sim, net::MacAddress::from_host_id(1), "orphan");
+  nic.transmit(net::Packet{std::vector<std::uint8_t>(60, 0), sim.now(), 0});
+  EXPECT_EQ(nic.stats().tx_dropped, 1u);
+  EXPECT_EQ(nic.stats().tx_sent, 0u);
+}
+
+TEST(Host, IpStatsTrackTraffic) {
+  sim::Simulation sim(5);
+  TwoHosts net(sim);
+  auto* server = net.b->udp_open(9);
+  (void)server;
+  auto* sock = net.a->udp_open(0);
+  const std::vector<std::uint8_t> data{1};
+  sock->send_to(net.b->ip(), 9, data);
+  sock->send_to(net.b->ip(), 9, data);
+  sim.run();
+  EXPECT_EQ(net.a->stats().ip_tx, 2u);
+  EXPECT_EQ(net.b->stats().ip_rx, 2u);
+}
+
+TEST(Host, CorruptTransportChecksumIsDropped) {
+  sim::Simulation sim(6);
+  TwoHosts net(sim);
+  int received = 0;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection>) { ++received; });
+
+  // A SYN with a deliberately broken TCP checksum must be ignored (no RST,
+  // no half-open state).
+  net::IpEndpoints ep;
+  ep.src_ip = net.a->ip();
+  ep.dst_ip = net.b->ip();
+  ep.src_mac = net.a->mac();
+  ep.dst_mac = net.b->mac();
+  net::TcpHeader syn;
+  syn.src_port = 40000;
+  syn.dst_port = 80;
+  syn.flags = net::TcpFlags::kSyn;
+  auto frame = net::build_tcp_frame(ep, syn, {});
+  frame[net::EthernetHeader::kSize + net::Ipv4Header::kSize + 17] ^= 0xff;
+  net.a->nic().transmit({std::move(frame), sim.now(), 0});
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.a->stats().tcp_rst_sent + net.b->stats().tcp_rst_sent, 0u);
+}
+
+TEST(Host, ConcurrentCrossConnectsBothEstablish) {
+  // Both hosts open a connection to the other at the same instant; the
+  // handshakes interleave on the wire and both must establish.
+  sim::Simulation sim(7);
+  TwoHosts net(sim);
+  int established = 0;
+  net.a->tcp_listen(1111, [&](std::shared_ptr<TcpConnection>) {});
+  net.b->tcp_listen(2222, [&](std::shared_ptr<TcpConnection>) {});
+  auto c1 = net.a->tcp_connect(net.b->ip(), 2222);
+  auto c2 = net.b->tcp_connect(net.a->ip(), 1111);
+  c1->on_connected = [&] { ++established; };
+  c2->on_connected = [&] { ++established; };
+  sim.run();
+  EXPECT_EQ(established, 2);
+}
+
+TEST(Host, EphemeralPortsSkipBusyPorts) {
+  sim::Simulation sim(8);
+  TwoHosts net(sim);
+  // Occupy a run of the ephemeral range with UDP sockets; allocation for
+  // TCP must skip them.
+  std::vector<UdpSocket*> sockets;
+  for (int i = 0; i < 50; ++i) {
+    sockets.push_back(net.a->udp_open(static_cast<std::uint16_t>(32768 + i)));
+  }
+  net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  auto conn = net.a->tcp_connect(net.b->ip(), 80);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_GE(conn->key().src_port, 32818);
+}
+
+}  // namespace
+}  // namespace barb::stack

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stack/tcp.h"
+#include "testutil/fixtures.h"
+
+namespace barb::stack {
+namespace {
+
+using testutil::TwoHosts;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(TcpHandshake, ConnectAndAccept) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  std::shared_ptr<TcpConnection> server_conn;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) { server_conn = c; });
+
+  bool connected = false;
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  ASSERT_NE(client, nullptr);
+  client->on_connected = [&] { connected = true; };
+  EXPECT_EQ(client->state(), TcpState::kSynSent);
+
+  sim.run();
+  EXPECT_TRUE(connected);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(client->state(), TcpState::kEstablished);
+  EXPECT_EQ(server_conn->state(), TcpState::kEstablished);
+  // Both sides negotiated the default MSS.
+  EXPECT_EQ(client->mss(), 1460);
+  EXPECT_EQ(server_conn->mss(), 1460);
+}
+
+TEST(TcpHandshake, ConnectToClosedPortGetsReset) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  auto client = net.a->tcp_connect(net.b->ip(), 81);
+  bool closed = false;
+  client->on_closed = [&] { closed = true; };
+  sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(net.b->stats().tcp_rst_sent, 1u);
+}
+
+TEST(TcpHandshake, HandshakeCompletesQuickly) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  bool connected = false;
+  sim::TimePoint connect_time;
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_connected = [&] {
+    connected = true;
+    connect_time = sim.now();
+  };
+  sim.run();
+  ASSERT_TRUE(connected);
+  // One RTT on an uncontended 100 Mbps link: well under a millisecond.
+  EXPECT_LT(connect_time.to_seconds(), 0.001);
+}
+
+TEST(TcpData, SmallMessageBothDirections) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  std::string server_got, client_got;
+  std::shared_ptr<TcpConnection> server_conn;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+    c->on_data = [&, c](std::span<const std::uint8_t> data) {
+      server_got.append(data.begin(), data.end());
+      const auto reply = bytes_of("pong");
+      c->send(reply);
+    };
+  });
+
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_data = [&](std::span<const std::uint8_t> data) {
+    client_got.append(data.begin(), data.end());
+  };
+  client->on_connected = [&] {
+    const auto msg = bytes_of("ping");
+    client->send(msg);
+  };
+  sim.run();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+}
+
+TEST(TcpClose, GracefulBothSides) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  std::shared_ptr<TcpConnection> server_conn;
+  bool server_eof = false;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+    c->on_peer_closed = [&, c] {
+      server_eof = true;
+      c->close();  // close our side in response
+    };
+  });
+
+  bool client_closed = false;
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_connected = [&] { client->close(); };
+  client->on_closed = [&] { client_closed = true; };
+  sim.run();
+
+  EXPECT_TRUE(server_eof);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_EQ(server_conn->state(), TcpState::kClosed);
+}
+
+TEST(TcpClose, DataBeforeFinIsDelivered) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  std::string got;
+  bool eof = false;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    c->on_data = [&](std::span<const std::uint8_t> d) { got.append(d.begin(), d.end()); };
+    c->on_peer_closed = [&] { eof = true; };
+  });
+
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_connected = [&] {
+    const auto msg = bytes_of("last words");
+    client->send(msg);
+    client->close();  // FIN right behind the data
+  };
+  sim.run_for(sim::Duration::seconds(5));
+  EXPECT_EQ(got, "last words");
+  EXPECT_TRUE(eof);
+}
+
+TEST(TcpAbort, SendsResetToPeer) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  std::shared_ptr<TcpConnection> server_conn;
+  bool server_closed = false;
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    server_conn = c;
+    c->on_closed = [&] { server_closed = true; };
+  });
+
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  sim.run();  // establish fully (so the server side has been accepted)
+  ASSERT_NE(server_conn, nullptr);
+  ASSERT_EQ(server_conn->state(), TcpState::kEstablished);
+
+  client->abort();
+  sim.run();
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(server_conn->state(), TcpState::kClosed);
+}
+
+TEST(TcpListener, CloseStopsNewConnections) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  auto* listener = net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  listener->close();
+
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  bool closed = false;
+  client->on_closed = [&] { closed = true; };
+  sim.run();
+  EXPECT_TRUE(closed);  // RST, since nothing listens anymore
+}
+
+TEST(TcpListener, DuplicatePortRejected) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  EXPECT_NE(net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {}), nullptr);
+  EXPECT_EQ(net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {}), nullptr);
+}
+
+TEST(TcpSend, RejectedAfterClose) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_connected = [&] {
+    client->close();
+    const auto msg = bytes_of("too late");
+    EXPECT_EQ(client->send(msg), 0u);
+  };
+  sim.run();
+}
+
+TEST(TcpTimeWait, ActiveCloserPassesThroughTimeWait) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection> c) {
+    c->on_peer_closed = [c] { c->close(); };
+  });
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  client->on_connected = [&] { client->close(); };
+  sim.run_until(sim.now() + sim::Duration::milliseconds(500));
+  // Client initiated the close, so it must sit in TIME_WAIT before closing.
+  EXPECT_EQ(client->state(), TcpState::kTimeWait);
+  sim.run();
+  EXPECT_EQ(client->state(), TcpState::kClosed);
+}
+
+TEST(TcpConnect, TimesOutWhenPeerSilent) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  // No listener and also drop b entirely: detach its sink so SYNs vanish.
+  net.b->nic().set_host_sink(nullptr);
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  bool closed = false;
+  client->on_closed = [&] { closed = true; };
+  sim.run_for(sim::Duration::seconds(300));
+  EXPECT_TRUE(closed);
+  EXPECT_GT(client->stats().retransmissions, 3u);
+}
+
+}  // namespace
+}  // namespace barb::stack

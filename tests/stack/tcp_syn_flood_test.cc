@@ -1,0 +1,123 @@
+// SYN-flood behaviour at the listener: backlog exhaustion and recovery.
+#include <gtest/gtest.h>
+
+#include "apps/flood_generator.h"
+#include "stack/tcp.h"
+#include "testutil/fixtures.h"
+
+namespace barb::stack {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(SynBacklog, HalfOpenConnectionsAreCounted) {
+  sim::Simulation sim(1);
+  TwoHosts net(sim);
+  auto* listener = net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+
+  // Send raw SYNs from spoofed (unreachable) sources: the SYN-ACKs go
+  // nowhere and no RST ever tears the embryos down, so they stay half-open.
+  // (SYNs from a live host's real address get RST'd by that host's own
+  // stack immediately — covered by EstablishedConnectionsFreeTheirSlots.)
+  for (int i = 0; i < 5; ++i) {
+    net::IpEndpoints ep;
+    ep.src_ip = net::Ipv4Address(10, 9, 9, static_cast<std::uint8_t>(i + 1));
+    ep.dst_ip = net.b->ip();
+    ep.src_mac = net.a->mac();
+    ep.dst_mac = net.b->mac();
+    net::TcpHeader syn;
+    syn.src_port = static_cast<std::uint16_t>(50000 + i);
+    syn.dst_port = 80;
+    syn.seq = 1000;
+    syn.flags = net::TcpFlags::kSyn;
+    syn.window = 65535;
+    net.a->nic().transmit({net::build_tcp_frame(ep, syn, {}), sim.now(), 0});
+  }
+  sim.run_for(sim::Duration::milliseconds(50));
+  EXPECT_EQ(listener->half_open(), 5u);
+}
+
+TEST(SynBacklog, FullBacklogDropsFurtherSyns) {
+  sim::Simulation sim(2);
+  TwoHosts net(sim);
+  auto* listener = net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  listener->backlog = 8;
+
+  apps::FloodConfig fc;
+  fc.target = net.b->ip();
+  fc.target_port = 80;
+  fc.type = apps::FloodType::kTcpSyn;
+  fc.rate_pps = 2000;
+  fc.spoof_source = true;  // spoofed sources never complete the handshake
+  apps::FloodGenerator flood(*net.a, fc);
+  flood.start();
+  sim.run_for(sim::Duration::milliseconds(500));
+  flood.stop();
+
+  EXPECT_EQ(listener->half_open(), 8u);
+  EXPECT_GT(listener->syn_drops(), 800u);
+}
+
+TEST(SynBacklog, LegitConnectionBlockedDuringFloodRecoversAfter) {
+  sim::Simulation sim(3);
+  TwoHosts net(sim);
+  int accepted = 0;
+  auto* listener =
+      net.b->tcp_listen(80, [&](std::shared_ptr<TcpConnection>) { ++accepted; });
+  listener->backlog = 4;
+
+  apps::FloodConfig fc;
+  fc.target = net.b->ip();
+  fc.target_port = 80;
+  fc.type = apps::FloodType::kTcpSyn;
+  fc.rate_pps = 5000;
+  fc.spoof_source = true;
+  apps::FloodGenerator flood(*net.a, fc);
+  flood.start();
+  sim.run_for(sim::Duration::milliseconds(100));
+
+  // The backlog is pinned full by the flood; a legitimate client's SYN is
+  // dropped, so it does not establish promptly.
+  auto blocked_client = net.a->tcp_connect(net.b->ip(), 80);
+  bool blocked_connected = false;
+  blocked_client->on_connected = [&] { blocked_connected = true; };
+  sim.run_for(sim::Duration::milliseconds(300));
+  EXPECT_FALSE(blocked_connected);
+  EXPECT_EQ(accepted, 0);
+
+  // The flood stops; the spoofed half-open embryos exhaust their SYN-ACK
+  // retransmissions (~60 s with exponential backoff) and release their
+  // slots. A fresh client then connects immediately.
+  flood.stop();
+  sim.run_for(sim::Duration::seconds(120));
+  EXPECT_EQ(listener->half_open(), 0u);
+
+  auto client = net.a->tcp_connect(net.b->ip(), 80);
+  bool connected = false;
+  client->on_connected = [&] { connected = true; };
+  sim.run_for(sim::Duration::seconds(1));
+  EXPECT_TRUE(connected);
+  EXPECT_GE(accepted, 1);
+}
+
+TEST(SynBacklog, EstablishedConnectionsFreeTheirSlots) {
+  sim::Simulation sim(4);
+  TwoHosts net(sim);
+  auto* listener = net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+  listener->backlog = 4;
+
+  // Four real connections in sequence: each completes its handshake and
+  // releases the slot, so a fifth works fine.
+  for (int i = 0; i < 5; ++i) {
+    auto client = net.a->tcp_connect(net.b->ip(), 80);
+    bool connected = false;
+    client->on_connected = [&] { connected = true; };
+    sim.run_for(sim::Duration::milliseconds(50));
+    EXPECT_TRUE(connected) << "connection " << i;
+  }
+  EXPECT_EQ(listener->half_open(), 0u);
+  EXPECT_EQ(listener->syn_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace barb::stack

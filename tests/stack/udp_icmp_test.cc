@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/packet_builder.h"
+#include "stack/udp.h"
+#include "testutil/fixtures.h"
+
+namespace barb::stack {
+namespace {
+
+using testutil::TwoHosts;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Udp, DatagramRoundTrip) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  auto* server = net.b->udp_open(5001);
+  ASSERT_NE(server, nullptr);
+  std::string received;
+  net::Ipv4Address from;
+  std::uint16_t from_port = 0;
+  server->set_receiver([&](net::Ipv4Address src, std::uint16_t port,
+                           std::span<const std::uint8_t> data) {
+    from = src;
+    from_port = port;
+    received.assign(data.begin(), data.end());
+  });
+
+  auto* client = net.a->udp_open(0);
+  ASSERT_NE(client, nullptr);
+  EXPECT_GE(client->local_port(), 32768);
+  EXPECT_TRUE(client->send_to(net.b->ip(), 5001, bytes_of("ping")));
+  sim.run();
+
+  EXPECT_EQ(received, "ping");
+  EXPECT_EQ(from, net.a->ip());
+  EXPECT_EQ(from_port, client->local_port());
+  EXPECT_EQ(server->datagrams_received(), 1u);
+  EXPECT_EQ(server->bytes_received(), 4u);
+}
+
+TEST(Udp, ReplyPath) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  auto* server = net.b->udp_open(7);
+  server->set_receiver([&](net::Ipv4Address src, std::uint16_t port,
+                           std::span<const std::uint8_t> data) {
+    std::vector<std::uint8_t> echo(data.begin(), data.end());
+    server->send_to(src, port, echo);
+  });
+
+  auto* client = net.a->udp_open(0);
+  std::string reply;
+  client->set_receiver([&](net::Ipv4Address, std::uint16_t,
+                           std::span<const std::uint8_t> data) {
+    reply.assign(data.begin(), data.end());
+  });
+  client->send_to(net.b->ip(), 7, bytes_of("echo me"));
+  sim.run();
+  EXPECT_EQ(reply, "echo me");
+}
+
+TEST(Udp, PortCollisionRejected) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  EXPECT_NE(net.a->udp_open(53), nullptr);
+  EXPECT_EQ(net.a->udp_open(53), nullptr);
+}
+
+TEST(Udp, CloseFreesPort) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  auto* s = net.a->udp_open(53);
+  s->close();
+  EXPECT_NE(net.a->udp_open(53), nullptr);
+}
+
+TEST(Udp, OversizedDatagramRejected) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  auto* s = net.a->udp_open(0);
+  const std::vector<std::uint8_t> big(1500, 0);  // + headers > MTU
+  EXPECT_FALSE(s->send_to(net.b->ip(), 9, big));
+}
+
+TEST(Udp, ClosedPortTriggersRateLimitedIcmpError) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  auto* client = net.a->udp_open(0);
+  // Burst of 10 datagrams to a closed port within one second: Linux-style
+  // rate limiting means only ~1 ICMP error comes back.
+  for (int i = 0; i < 10; ++i) {
+    client->send_to(net.b->ip(), 9999, bytes_of("x"));
+  }
+  sim.run();
+  EXPECT_EQ(net.b->stats().icmp_unreachable_sent, 1u);
+  EXPECT_EQ(net.b->stats().icmp_unreachable_suppressed, 9u);
+
+  // After a second, the error budget refills.
+  sim.run_for(sim::Duration::seconds(2));
+  client->send_to(net.b->ip(), 9999, bytes_of("x"));
+  sim.run();
+  EXPECT_EQ(net.b->stats().icmp_unreachable_sent, 2u);
+}
+
+TEST(Icmp, EchoRequestGetsReply) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+
+  // Craft an echo request directly (the stack has no ping client).
+  net::IpEndpoints ep;
+  ep.src_ip = net.a->ip();
+  ep.dst_ip = net.b->ip();
+  ep.src_mac = net.a->mac();
+  ep.dst_mac = net.b->mac();
+  const auto payload = bytes_of("abcdefgh");
+  auto frame = net::build_icmp_frame(
+      ep, static_cast<std::uint8_t>(net::IcmpType::kEchoRequest), 0, 0x12340001,
+      payload);
+  net.a->nic().transmit(net::Packet{std::move(frame), sim.now(), 1});
+  sim.run();
+
+  EXPECT_EQ(net.b->stats().icmp_echo_replies, 1u);
+  // The reply reaches host a's IP layer (counted as received).
+  EXPECT_EQ(net.a->stats().ip_rx, 1u);
+}
+
+TEST(Host, DropsPacketsForOtherAddresses) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  // Send to b's MAC but a different IP: the IP layer must drop it.
+  net::IpEndpoints ep;
+  ep.src_ip = net.a->ip();
+  ep.dst_ip = net::Ipv4Address(10, 0, 0, 99);
+  ep.src_mac = net.a->mac();
+  ep.dst_mac = net.b->mac();
+  const auto payload = bytes_of("x");
+  auto frame = net::build_udp_frame(ep, 1, 2, payload);
+  net.a->nic().transmit(net::Packet{std::move(frame), sim.now(), 1});
+  sim.run();
+  EXPECT_EQ(net.b->stats().ip_rx, 0u);
+  EXPECT_EQ(net.b->stats().ip_rx_dropped, 1u);
+}
+
+TEST(Host, EphemeralPortsAdvance) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  auto* s1 = net.a->udp_open(0);
+  auto* s2 = net.a->udp_open(0);
+  EXPECT_NE(s1->local_port(), s2->local_port());
+  EXPECT_GE(s1->local_port(), 32768);
+  EXPECT_LE(s1->local_port(), 60999);
+}
+
+TEST(Host, SendToUnknownDestinationFails) {
+  sim::Simulation sim;
+  TwoHosts net(sim);
+  auto* s = net.a->udp_open(0);
+  const auto payload = bytes_of("x");
+  EXPECT_FALSE(s->send_to(net::Ipv4Address(10, 0, 0, 77), 9, payload));
+}
+
+}  // namespace
+}  // namespace barb::stack

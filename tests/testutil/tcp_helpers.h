@@ -1,0 +1,132 @@
+// Bulk-transfer helpers for TCP tests: deterministic payload pattern, a
+// sender that streams N bytes through the send-buffer backpressure API, and
+// a verifying receiver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stack/host.h"
+#include "stack/nic.h"
+#include "stack/tcp.h"
+
+namespace barb::testutil {
+
+inline std::uint8_t pattern_byte(std::size_t offset) {
+  return static_cast<std::uint8_t>((offset * 31 + 7) & 0xff);
+}
+
+class BulkSender {
+ public:
+  BulkSender(std::shared_ptr<stack::TcpConnection> conn, std::size_t total,
+             bool close_when_done = true)
+      : conn_(std::move(conn)), total_(total), close_when_done_(close_when_done) {
+    conn_->on_connected = [this] { pump(); };
+    conn_->on_send_space = [this] { pump(); };
+  }
+
+  // For already-established connections.
+  void start() { pump(); }
+
+  std::size_t sent() const { return offset_; }
+  bool done() const { return offset_ >= total_; }
+
+ private:
+  void pump() {
+    while (offset_ < total_) {
+      const std::size_t n = std::min<std::size_t>(16 * 1024, total_ - offset_);
+      std::vector<std::uint8_t> chunk(n);
+      for (std::size_t i = 0; i < n; ++i) chunk[i] = pattern_byte(offset_ + i);
+      const std::size_t accepted = conn_->send(chunk);
+      offset_ += accepted;
+      if (accepted < n) break;  // buffer full; resume on on_send_space
+    }
+    if (done() && close_when_done_ && !closed_) {
+      closed_ = true;
+      conn_->close();
+    }
+  }
+
+  std::shared_ptr<stack::TcpConnection> conn_;
+  std::size_t total_;
+  bool close_when_done_;
+  std::size_t offset_ = 0;
+  bool closed_ = false;
+};
+
+class VerifyingReceiver {
+ public:
+  void attach(const std::shared_ptr<stack::TcpConnection>& conn,
+              bool close_on_eof = true) {
+    conn->on_data = [this](std::span<const std::uint8_t> data) {
+      for (std::uint8_t b : data) {
+        if (b != pattern_byte(received_)) ++mismatches_;
+        ++received_;
+      }
+    };
+    conn->on_peer_closed = [this, close_on_eof, conn] {
+      eof_ = true;
+      if (on_eof) on_eof();
+      if (close_on_eof) conn->close();
+    };
+  }
+
+  // Optional hook invoked when the peer's FIN arrives.
+  std::function<void()> on_eof;
+
+  std::size_t received() const { return received_; }
+  std::size_t mismatches() const { return mismatches_; }
+  bool eof() const { return eof_; }
+
+ private:
+  std::size_t received_ = 0;
+  std::size_t mismatches_ = 0;
+  bool eof_ = false;
+};
+
+// A NIC that flips a random bit in some received frames (for corruption
+// tests: every mangled segment must be caught by a checksum, never
+// delivered to the application).
+class CorruptingNic : public stack::StandardNic {
+ public:
+  CorruptingNic(sim::Simulation& sim, net::MacAddress mac, std::string name,
+                double corruption_probability)
+      : StandardNic(sim, mac, std::move(name)), probability_(corruption_probability) {}
+
+  void deliver(net::Packet pkt) override {
+    if (!pkt.data.empty() && sim_.rng().bernoulli(probability_)) {
+      // Corrupt beyond the Ethernet header (the switch already routed on it).
+      const std::size_t offset =
+          net::EthernetHeader::kSize +
+          sim_.rng().uniform(pkt.data.size() - net::EthernetHeader::kSize);
+      pkt.data[offset] ^= static_cast<std::uint8_t>(1u << sim_.rng().uniform(8));
+      ++corrupted_;
+    }
+    StandardNic::deliver(std::move(pkt));
+  }
+
+  std::uint64_t corrupted() const { return corrupted_; }
+
+ private:
+  double probability_;
+  std::uint64_t corrupted_ = 0;
+};
+
+// A NIC that drops received frames with fixed probability (for loss tests).
+class LossyNic : public stack::StandardNic {
+ public:
+  LossyNic(sim::Simulation& sim, net::MacAddress mac, std::string name,
+           double loss_probability)
+      : StandardNic(sim, mac, std::move(name)), loss_(loss_probability) {}
+
+  void deliver(net::Packet pkt) override {
+    if (sim_.rng().bernoulli(loss_)) return;  // frame lost
+    StandardNic::deliver(std::move(pkt));
+  }
+
+ private:
+  double loss_;
+};
+
+}  // namespace barb::testutil

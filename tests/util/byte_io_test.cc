@@ -1,0 +1,85 @@
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace barb {
+namespace {
+
+TEST(ByteWriter, WritesBigEndian) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const std::vector<std::uint8_t> expected = {0xab, 0x12, 0x34, 0xde, 0xad, 0xbe, 0xef,
+                                              0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                                              0x08};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteReader, RoundTripsWriter) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0xcafebabe);
+  w.u64(0xffffffffffffffffULL);
+  w.zeros(3);
+
+  ByteReader r(out);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0xcafebabe);
+  EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteReader, ShortBufferSetsNotOkAndReturnsZero) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02};
+  ByteReader r(data);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // All subsequent reads also fail safely.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_TRUE(r.bytes(1).empty());
+}
+
+TEST(ByteReader, PartialReadThenOverrun) {
+  const std::vector<std::uint8_t> data = {0xaa, 0xbb, 0xcc};
+  ByteReader r(data);
+  EXPECT_EQ(r.u16(), 0xaabb);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u16(), 0u);  // only 1 byte left
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, BytesViewsUnderlyingData) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(1);
+  auto s = r.bytes(3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, RestConsumesEverything) {
+  const std::vector<std::uint8_t> data = {9, 8, 7};
+  ByteReader r(data);
+  r.u8();
+  auto rest = r.rest();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ToHex, FormatsLowercasePairs) {
+  const std::vector<std::uint8_t> data = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(to_hex(data), "000fa5ff");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+}  // namespace
+}  // namespace barb

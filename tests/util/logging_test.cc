@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace barb {
+namespace {
+
+TEST(Logger, LevelGatesEnabledChecks) {
+  auto& logger = Logger::instance();
+  const auto saved = logger.level();
+
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kTrace));
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+
+  logger.set_level(LogLevel::kTrace);
+  EXPECT_TRUE(logger.enabled(LogLevel::kTrace));
+
+  logger.set_level(saved);
+}
+
+TEST(Logger, MacrosCompileAndRespectLevel) {
+  auto& logger = Logger::instance();
+  const auto saved = logger.level();
+  logger.set_level(LogLevel::kError);
+  // These must be no-ops (and must not evaluate as errors) below the level.
+  BARB_TRACE("trace %d", 1);
+  BARB_DEBUG("debug %s", "x");
+  BARB_INFO("info");
+  BARB_WARN("warn");
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace barb

@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace barb {
+namespace {
+
+TEST(Stats, MeanMinMax) {
+  Stats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  Stats s;
+  for (int i = 0; i < 5; ++i) s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Stats, SampleStddevMatchesHandComputation) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Population variance of this classic set is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, SingleSampleHasZeroSpread) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Stats, PercentileInterpolatesLinearly) {
+  Stats s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Stats, PercentileIsOrderInsensitive) {
+  Stats a, b;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) a.add(x);
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) b.add(x);
+  for (double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+  }
+}
+
+// Property: for large normal samples the CI half-width shrinks like 1/sqrt(n)
+// and contains the true mean most of the time.
+class StatsCiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsCiProperty, CiCoversTrueMean) {
+  sim::Random rng(static_cast<std::uint64_t>(GetParam()));
+  Stats s;
+  const double true_mean = 50.0;
+  for (int i = 0; i < 400; ++i) s.add(rng.normal(true_mean, 5.0));
+  EXPECT_NEAR(s.mean(), true_mean, 3 * s.ci95_halfwidth() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsCiProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace barb

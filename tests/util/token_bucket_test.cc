@@ -1,0 +1,111 @@
+#include "util/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/rate_estimator.h"
+
+namespace barb {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(100.0, 5.0);
+  const auto t0 = TimePoint::origin();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(tb.try_consume(t0));
+  EXPECT_FALSE(tb.try_consume(t0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1000.0, 1.0);
+  auto t = TimePoint::origin();
+  EXPECT_TRUE(tb.try_consume(t));
+  EXPECT_FALSE(tb.try_consume(t));
+  t = t + Duration::milliseconds(1);  // exactly one token accrues
+  EXPECT_TRUE(tb.try_consume(t));
+  EXPECT_FALSE(tb.try_consume(t));
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(1000.0, 2.0);
+  auto t = TimePoint::origin() + Duration::seconds(10);  // long idle
+  int consumed = 0;
+  while (tb.try_consume(t)) ++consumed;
+  EXPECT_EQ(consumed, 2);
+}
+
+TEST(TokenBucket, TimeUntilAvailableIsExact) {
+  TokenBucket tb(500.0, 1.0);
+  auto t = TimePoint::origin();
+  EXPECT_TRUE(tb.try_consume(t));
+  const auto wait = tb.time_until_available(t);
+  EXPECT_EQ(wait, Duration::milliseconds(2));
+  EXPECT_TRUE(tb.try_consume(t + wait));
+}
+
+TEST(TokenBucket, ZeroWaitWhenTokensPresent) {
+  TokenBucket tb(10.0, 3.0);
+  EXPECT_EQ(tb.time_until_available(TimePoint::origin()), Duration::zero());
+}
+
+// Property: pacing N consumptions through the bucket takes (N-burst)/rate.
+class TokenBucketPacing : public ::testing::TestWithParam<double> {};
+
+TEST_P(TokenBucketPacing, LongRunRateMatchesConfiguredRate) {
+  const double rate = GetParam();
+  TokenBucket tb(rate, 1.0);
+  auto t = TimePoint::origin();
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    t = t + tb.time_until_available(t);
+    ASSERT_TRUE(tb.try_consume(t));
+  }
+  const double elapsed = (t - TimePoint::origin()).to_seconds();
+  const double achieved = (n - 1) / elapsed;  // first token was free (full bucket)
+  EXPECT_NEAR(achieved, rate, rate * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, TokenBucketPacing,
+                         ::testing::Values(10.0, 1000.0, 45000.0, 148810.0));
+
+TEST(WindowCounter, AveragesOverWindow) {
+  WindowCounter wc;
+  wc.start(TimePoint::origin());
+  wc.add(500);
+  wc.add(500);
+  const double rate = wc.stop(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(rate, 500.0);
+}
+
+TEST(WindowCounter, IgnoresAddsOutsideWindow) {
+  WindowCounter wc;
+  wc.add(100);  // before start
+  wc.start(TimePoint::origin());
+  wc.add(100);
+  (void)wc.stop(TimePoint::origin() + Duration::seconds(1));
+  wc.add(100);  // after stop
+  EXPECT_EQ(wc.total(), 100u);
+}
+
+TEST(LatencyHistogram, MeanAndPercentileBracketSamples) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(Duration::microseconds(100));
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.mean_ms(), 0.1, 1e-9);
+  const auto p99 = h.percentile_upper_ns(99);
+  EXPECT_GE(p99, 100'000);
+  EXPECT_LE(p99, 200'000);  // one power-of-two bucket wide
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.add(Duration::milliseconds(5));
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace barb
