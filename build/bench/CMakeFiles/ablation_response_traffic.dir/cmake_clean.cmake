@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_response_traffic.dir/ablation_response_traffic.cc.o"
+  "CMakeFiles/ablation_response_traffic.dir/ablation_response_traffic.cc.o.d"
+  "ablation_response_traffic"
+  "ablation_response_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_response_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spoofing.dir/ablation_spoofing.cc.o"
+  "CMakeFiles/ablation_spoofing.dir/ablation_spoofing.cc.o.d"
+  "ablation_spoofing"
+  "ablation_spoofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spoofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stateful_nic.dir/ablation_stateful_nic.cc.o"
+  "CMakeFiles/ablation_stateful_nic.dir/ablation_stateful_nic.cc.o.d"
+  "ablation_stateful_nic"
+  "ablation_stateful_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stateful_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vpg_crypto.dir/ablation_vpg_crypto.cc.o"
+  "CMakeFiles/ablation_vpg_crypto.dir/ablation_vpg_crypto.cc.o.d"
+  "ablation_vpg_crypto"
+  "ablation_vpg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vpg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_flood_guard.dir/extension_flood_guard.cc.o"
+  "CMakeFiles/extension_flood_guard.dir/extension_flood_guard.cc.o.d"
+  "extension_flood_guard"
+  "extension_flood_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_flood_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_flood_bandwidth.dir/fig3a_flood_bandwidth.cc.o"
+  "CMakeFiles/fig3a_flood_bandwidth.dir/fig3a_flood_bandwidth.cc.o.d"
+  "fig3a_flood_bandwidth"
+  "fig3a_flood_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_flood_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

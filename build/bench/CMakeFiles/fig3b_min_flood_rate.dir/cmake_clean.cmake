@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_min_flood_rate.dir/fig3b_min_flood_rate.cc.o"
+  "CMakeFiles/fig3b_min_flood_rate.dir/fig3b_min_flood_rate.cc.o.d"
+  "fig3b_min_flood_rate"
+  "fig3b_min_flood_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_min_flood_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_min_flood_rate.
+# This may be replaced when dependencies are built.

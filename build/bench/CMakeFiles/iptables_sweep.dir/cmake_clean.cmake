@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iptables_sweep.dir/iptables_sweep.cc.o"
+  "CMakeFiles/iptables_sweep.dir/iptables_sweep.cc.o.d"
+  "iptables_sweep"
+  "iptables_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iptables_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfc2544_throughput.dir/rfc2544_throughput.cc.o"
+  "CMakeFiles/rfc2544_throughput.dir/rfc2544_throughput.cc.o.d"
+  "rfc2544_throughput"
+  "rfc2544_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfc2544_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

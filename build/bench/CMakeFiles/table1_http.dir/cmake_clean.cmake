@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_http.dir/table1_http.cc.o"
+  "CMakeFiles/table1_http.dir/table1_http.cc.o.d"
+  "table1_http"
+  "table1_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

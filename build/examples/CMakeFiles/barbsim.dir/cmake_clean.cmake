@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barbsim.dir/barbsim.cpp.o"
+  "CMakeFiles/barbsim.dir/barbsim.cpp.o.d"
+  "barbsim"
+  "barbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

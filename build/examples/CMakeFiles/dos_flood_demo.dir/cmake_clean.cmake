@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_flood_demo.dir/dos_flood_demo.cpp.o"
+  "CMakeFiles/dos_flood_demo.dir/dos_flood_demo.cpp.o.d"
+  "dos_flood_demo"
+  "dos_flood_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_flood_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_distribution.dir/policy_distribution.cpp.o"
+  "CMakeFiles/policy_distribution.dir/policy_distribution.cpp.o.d"
+  "policy_distribution"
+  "policy_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpg_secure_channel.dir/vpg_secure_channel.cpp.o"
+  "CMakeFiles/vpg_secure_channel.dir/vpg_secure_channel.cpp.o.d"
+  "vpg_secure_channel"
+  "vpg_secure_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpg_secure_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dos_flood_demo "/root/repo/build/examples/dos_flood_demo" "8")
+set_tests_properties(example_dos_flood_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_distribution "/root/repo/build/examples/policy_distribution")
+set_tests_properties(example_policy_distribution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vpg_secure_channel "/root/repo/build/examples/vpg_secure_channel")
+set_tests_properties(example_vpg_secure_channel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_webserver_protection "/root/repo/build/examples/webserver_protection")
+set_tests_properties(example_webserver_protection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barbsim_bandwidth "/root/repo/build/examples/barbsim" "--firewall" "efw" "--depth" "32" "--experiment" "bandwidth" "--window" "0.5" "--reps" "1")
+set_tests_properties(example_barbsim_bandwidth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barbsim_flood "/root/repo/build/examples/barbsim" "--firewall" "adf" "--depth" "1" "--experiment" "flood" "--flood-rate" "30000" "--window" "0.5" "--reps" "1")
+set_tests_properties(example_barbsim_flood PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_barbsim_ping "/root/repo/build/examples/barbsim" "--firewall" "adf" "--depth" "64" "--experiment" "ping")
+set_tests_properties(example_barbsim_ping PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

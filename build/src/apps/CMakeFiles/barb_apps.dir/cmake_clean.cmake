@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_apps.dir/flood_generator.cc.o"
+  "CMakeFiles/barb_apps.dir/flood_generator.cc.o.d"
+  "CMakeFiles/barb_apps.dir/http.cc.o"
+  "CMakeFiles/barb_apps.dir/http.cc.o.d"
+  "CMakeFiles/barb_apps.dir/iperf.cc.o"
+  "CMakeFiles/barb_apps.dir/iperf.cc.o.d"
+  "CMakeFiles/barb_apps.dir/ping.cc.o"
+  "CMakeFiles/barb_apps.dir/ping.cc.o.d"
+  "libbarb_apps.a"
+  "libbarb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_core.dir/experiments.cc.o"
+  "CMakeFiles/barb_core.dir/experiments.cc.o.d"
+  "CMakeFiles/barb_core.dir/report.cc.o"
+  "CMakeFiles/barb_core.dir/report.cc.o.d"
+  "CMakeFiles/barb_core.dir/testbed.cc.o"
+  "CMakeFiles/barb_core.dir/testbed.cc.o.d"
+  "libbarb_core.a"
+  "libbarb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

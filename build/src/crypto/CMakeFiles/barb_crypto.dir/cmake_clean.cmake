@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_crypto.dir/aead.cc.o"
+  "CMakeFiles/barb_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/barb_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/barb_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/barb_crypto.dir/hmac.cc.o"
+  "CMakeFiles/barb_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/barb_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/barb_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/barb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/barb_crypto.dir/sha256.cc.o.d"
+  "libbarb_crypto.a"
+  "libbarb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

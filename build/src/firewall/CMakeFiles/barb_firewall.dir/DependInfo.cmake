@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firewall/flood_guard.cc" "src/firewall/CMakeFiles/barb_firewall.dir/flood_guard.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/flood_guard.cc.o.d"
+  "/root/repo/src/firewall/flow_state.cc" "src/firewall/CMakeFiles/barb_firewall.dir/flow_state.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/flow_state.cc.o.d"
+  "/root/repo/src/firewall/nic_firewall.cc" "src/firewall/CMakeFiles/barb_firewall.dir/nic_firewall.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/nic_firewall.cc.o.d"
+  "/root/repo/src/firewall/policy.cc" "src/firewall/CMakeFiles/barb_firewall.dir/policy.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/policy.cc.o.d"
+  "/root/repo/src/firewall/policy_agent.cc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_agent.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_agent.cc.o.d"
+  "/root/repo/src/firewall/policy_protocol.cc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_protocol.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_protocol.cc.o.d"
+  "/root/repo/src/firewall/policy_server.cc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_server.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/policy_server.cc.o.d"
+  "/root/repo/src/firewall/rule_set.cc" "src/firewall/CMakeFiles/barb_firewall.dir/rule_set.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/rule_set.cc.o.d"
+  "/root/repo/src/firewall/software_firewall.cc" "src/firewall/CMakeFiles/barb_firewall.dir/software_firewall.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/software_firewall.cc.o.d"
+  "/root/repo/src/firewall/vpg.cc" "src/firewall/CMakeFiles/barb_firewall.dir/vpg.cc.o" "gcc" "src/firewall/CMakeFiles/barb_firewall.dir/vpg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/barb_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/barb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/barb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/barb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/barb_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_firewall.dir/flood_guard.cc.o"
+  "CMakeFiles/barb_firewall.dir/flood_guard.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/flow_state.cc.o"
+  "CMakeFiles/barb_firewall.dir/flow_state.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/nic_firewall.cc.o"
+  "CMakeFiles/barb_firewall.dir/nic_firewall.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/policy.cc.o"
+  "CMakeFiles/barb_firewall.dir/policy.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/policy_agent.cc.o"
+  "CMakeFiles/barb_firewall.dir/policy_agent.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/policy_protocol.cc.o"
+  "CMakeFiles/barb_firewall.dir/policy_protocol.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/policy_server.cc.o"
+  "CMakeFiles/barb_firewall.dir/policy_server.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/rule_set.cc.o"
+  "CMakeFiles/barb_firewall.dir/rule_set.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/software_firewall.cc.o"
+  "CMakeFiles/barb_firewall.dir/software_firewall.cc.o.d"
+  "CMakeFiles/barb_firewall.dir/vpg.cc.o"
+  "CMakeFiles/barb_firewall.dir/vpg.cc.o.d"
+  "libbarb_firewall.a"
+  "libbarb_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

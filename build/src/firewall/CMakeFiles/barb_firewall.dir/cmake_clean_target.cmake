@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbarb_firewall.a"
+)

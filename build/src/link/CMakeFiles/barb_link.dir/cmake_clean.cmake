@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_link.dir/link.cc.o"
+  "CMakeFiles/barb_link.dir/link.cc.o.d"
+  "CMakeFiles/barb_link.dir/switch.cc.o"
+  "CMakeFiles/barb_link.dir/switch.cc.o.d"
+  "CMakeFiles/barb_link.dir/tracer.cc.o"
+  "CMakeFiles/barb_link.dir/tracer.cc.o.d"
+  "libbarb_link.a"
+  "libbarb_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

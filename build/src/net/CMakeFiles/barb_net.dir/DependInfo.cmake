@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/barb_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/barb_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/frame_view.cc" "src/net/CMakeFiles/barb_net.dir/frame_view.cc.o" "gcc" "src/net/CMakeFiles/barb_net.dir/frame_view.cc.o.d"
+  "/root/repo/src/net/ipv4_address.cc" "src/net/CMakeFiles/barb_net.dir/ipv4_address.cc.o" "gcc" "src/net/CMakeFiles/barb_net.dir/ipv4_address.cc.o.d"
+  "/root/repo/src/net/mac_address.cc" "src/net/CMakeFiles/barb_net.dir/mac_address.cc.o" "gcc" "src/net/CMakeFiles/barb_net.dir/mac_address.cc.o.d"
+  "/root/repo/src/net/packet_builder.cc" "src/net/CMakeFiles/barb_net.dir/packet_builder.cc.o" "gcc" "src/net/CMakeFiles/barb_net.dir/packet_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/barb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

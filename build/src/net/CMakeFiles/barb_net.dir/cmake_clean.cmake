@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_net.dir/checksum.cc.o"
+  "CMakeFiles/barb_net.dir/checksum.cc.o.d"
+  "CMakeFiles/barb_net.dir/frame_view.cc.o"
+  "CMakeFiles/barb_net.dir/frame_view.cc.o.d"
+  "CMakeFiles/barb_net.dir/ipv4_address.cc.o"
+  "CMakeFiles/barb_net.dir/ipv4_address.cc.o.d"
+  "CMakeFiles/barb_net.dir/mac_address.cc.o"
+  "CMakeFiles/barb_net.dir/mac_address.cc.o.d"
+  "CMakeFiles/barb_net.dir/packet_builder.cc.o"
+  "CMakeFiles/barb_net.dir/packet_builder.cc.o.d"
+  "libbarb_net.a"
+  "libbarb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

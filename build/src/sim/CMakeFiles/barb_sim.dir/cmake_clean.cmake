@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_sim.dir/time.cc.o"
+  "CMakeFiles/barb_sim.dir/time.cc.o.d"
+  "libbarb_sim.a"
+  "libbarb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbarb_sim.a"
+)

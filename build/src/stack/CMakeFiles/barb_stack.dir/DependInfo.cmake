@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/host.cc" "src/stack/CMakeFiles/barb_stack.dir/host.cc.o" "gcc" "src/stack/CMakeFiles/barb_stack.dir/host.cc.o.d"
+  "/root/repo/src/stack/tcp.cc" "src/stack/CMakeFiles/barb_stack.dir/tcp.cc.o" "gcc" "src/stack/CMakeFiles/barb_stack.dir/tcp.cc.o.d"
+  "/root/repo/src/stack/udp.cc" "src/stack/CMakeFiles/barb_stack.dir/udp.cc.o" "gcc" "src/stack/CMakeFiles/barb_stack.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/link/CMakeFiles/barb_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/barb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/barb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

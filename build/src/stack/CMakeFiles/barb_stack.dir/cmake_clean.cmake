@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barb_stack.dir/host.cc.o"
+  "CMakeFiles/barb_stack.dir/host.cc.o.d"
+  "CMakeFiles/barb_stack.dir/tcp.cc.o"
+  "CMakeFiles/barb_stack.dir/tcp.cc.o.d"
+  "CMakeFiles/barb_stack.dir/udp.cc.o"
+  "CMakeFiles/barb_stack.dir/udp.cc.o.d"
+  "libbarb_stack.a"
+  "libbarb_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barb_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

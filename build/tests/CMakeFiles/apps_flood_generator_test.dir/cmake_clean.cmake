@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_flood_generator_test.dir/apps/flood_generator_test.cc.o"
+  "CMakeFiles/apps_flood_generator_test.dir/apps/flood_generator_test.cc.o.d"
+  "apps_flood_generator_test"
+  "apps_flood_generator_test.pdb"
+  "apps_flood_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_flood_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_http_parallel_test.dir/apps/http_parallel_test.cc.o"
+  "CMakeFiles/apps_http_parallel_test.dir/apps/http_parallel_test.cc.o.d"
+  "apps_http_parallel_test"
+  "apps_http_parallel_test.pdb"
+  "apps_http_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_http_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_iperf_test.dir/apps/iperf_test.cc.o"
+  "CMakeFiles/apps_iperf_test.dir/apps/iperf_test.cc.o.d"
+  "apps_iperf_test"
+  "apps_iperf_test.pdb"
+  "apps_iperf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_iperf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

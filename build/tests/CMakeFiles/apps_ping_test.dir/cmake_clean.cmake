@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_ping_test.dir/apps/ping_test.cc.o"
+  "CMakeFiles/apps_ping_test.dir/apps/ping_test.cc.o.d"
+  "apps_ping_test"
+  "apps_ping_test.pdb"
+  "apps_ping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_ping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_poly1305_test.dir/crypto/poly1305_test.cc.o"
+  "CMakeFiles/crypto_poly1305_test.dir/crypto/poly1305_test.cc.o.d"
+  "crypto_poly1305_test"
+  "crypto_poly1305_test.pdb"
+  "crypto_poly1305_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_poly1305_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_flood_guard_test.dir/firewall/flood_guard_test.cc.o"
+  "CMakeFiles/firewall_flood_guard_test.dir/firewall/flood_guard_test.cc.o.d"
+  "firewall_flood_guard_test"
+  "firewall_flood_guard_test.pdb"
+  "firewall_flood_guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_flood_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_flow_state_test.dir/firewall/flow_state_test.cc.o"
+  "CMakeFiles/firewall_flow_state_test.dir/firewall/flow_state_test.cc.o.d"
+  "firewall_flow_state_test"
+  "firewall_flow_state_test.pdb"
+  "firewall_flow_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_flow_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

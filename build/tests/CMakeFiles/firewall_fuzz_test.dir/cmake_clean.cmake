@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_fuzz_test.dir/firewall/fuzz_test.cc.o"
+  "CMakeFiles/firewall_fuzz_test.dir/firewall/fuzz_test.cc.o.d"
+  "firewall_fuzz_test"
+  "firewall_fuzz_test.pdb"
+  "firewall_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_policy_protocol_test.dir/firewall/policy_protocol_test.cc.o"
+  "CMakeFiles/firewall_policy_protocol_test.dir/firewall/policy_protocol_test.cc.o.d"
+  "firewall_policy_protocol_test"
+  "firewall_policy_protocol_test.pdb"
+  "firewall_policy_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_policy_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

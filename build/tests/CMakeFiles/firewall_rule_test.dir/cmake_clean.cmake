@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_rule_test.dir/firewall/rule_test.cc.o"
+  "CMakeFiles/firewall_rule_test.dir/firewall/rule_test.cc.o.d"
+  "firewall_rule_test"
+  "firewall_rule_test.pdb"
+  "firewall_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_software_firewall_test.dir/firewall/software_firewall_test.cc.o"
+  "CMakeFiles/firewall_software_firewall_test.dir/firewall/software_firewall_test.cc.o.d"
+  "firewall_software_firewall_test"
+  "firewall_software_firewall_test.pdb"
+  "firewall_software_firewall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_software_firewall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

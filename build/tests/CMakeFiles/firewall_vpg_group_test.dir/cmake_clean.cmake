@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_vpg_group_test.dir/firewall/vpg_group_test.cc.o"
+  "CMakeFiles/firewall_vpg_group_test.dir/firewall/vpg_group_test.cc.o.d"
+  "firewall_vpg_group_test"
+  "firewall_vpg_group_test.pdb"
+  "firewall_vpg_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_vpg_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

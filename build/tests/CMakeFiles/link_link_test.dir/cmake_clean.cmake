@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_link_test.dir/link/link_test.cc.o"
+  "CMakeFiles/link_link_test.dir/link/link_test.cc.o.d"
+  "link_link_test"
+  "link_link_test.pdb"
+  "link_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

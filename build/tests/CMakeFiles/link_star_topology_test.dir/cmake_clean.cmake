@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_star_topology_test.dir/link/star_topology_test.cc.o"
+  "CMakeFiles/link_star_topology_test.dir/link/star_topology_test.cc.o.d"
+  "link_star_topology_test"
+  "link_star_topology_test.pdb"
+  "link_star_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_star_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_switch_test.dir/link/switch_test.cc.o"
+  "CMakeFiles/link_switch_test.dir/link/switch_test.cc.o.d"
+  "link_switch_test"
+  "link_switch_test.pdb"
+  "link_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

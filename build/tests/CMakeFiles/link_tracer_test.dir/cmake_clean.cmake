@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_tracer_test.dir/link/tracer_test.cc.o"
+  "CMakeFiles/link_tracer_test.dir/link/tracer_test.cc.o.d"
+  "link_tracer_test"
+  "link_tracer_test.pdb"
+  "link_tracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_headers_test.dir/net/headers_test.cc.o"
+  "CMakeFiles/net_headers_test.dir/net/headers_test.cc.o.d"
+  "net_headers_test"
+  "net_headers_test.pdb"
+  "net_headers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_headers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

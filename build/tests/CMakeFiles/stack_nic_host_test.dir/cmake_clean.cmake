@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_nic_host_test.dir/stack/nic_host_test.cc.o"
+  "CMakeFiles/stack_nic_host_test.dir/stack/nic_host_test.cc.o.d"
+  "stack_nic_host_test"
+  "stack_nic_host_test.pdb"
+  "stack_nic_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_nic_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_tcp_corruption_test.dir/stack/tcp_corruption_test.cc.o"
+  "CMakeFiles/stack_tcp_corruption_test.dir/stack/tcp_corruption_test.cc.o.d"
+  "stack_tcp_corruption_test"
+  "stack_tcp_corruption_test.pdb"
+  "stack_tcp_corruption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_tcp_corruption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

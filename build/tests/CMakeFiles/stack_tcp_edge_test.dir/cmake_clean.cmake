@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_tcp_edge_test.dir/stack/tcp_edge_test.cc.o"
+  "CMakeFiles/stack_tcp_edge_test.dir/stack/tcp_edge_test.cc.o.d"
+  "stack_tcp_edge_test"
+  "stack_tcp_edge_test.pdb"
+  "stack_tcp_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_tcp_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

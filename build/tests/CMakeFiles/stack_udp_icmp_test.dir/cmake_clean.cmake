@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_udp_icmp_test.dir/stack/udp_icmp_test.cc.o"
+  "CMakeFiles/stack_udp_icmp_test.dir/stack/udp_icmp_test.cc.o.d"
+  "stack_udp_icmp_test"
+  "stack_udp_icmp_test.pdb"
+  "stack_udp_icmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_udp_icmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
