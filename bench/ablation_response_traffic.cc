@@ -40,6 +40,14 @@ int main() {
   const double tcp_denied = min_rate(apps::FloodType::kTcpData,
                                      firewall::RuleAction::kDeny);
 
+  telemetry::BenchArtifact artifact("ablation_response_traffic");
+  bench::set_common_meta(artifact, opt);
+  artifact.add_point("TCP data, allowed", depth, tcp_allowed);
+  artifact.add_point("UDP, allowed", depth, udp_allowed);
+  artifact.add_point("TCP data, denied", depth, tcp_denied);
+  artifact.set_meta("deny_allow_factor", tcp_denied / tcp_allowed);
+  artifact.set_meta("silent_allow_allow_factor", udp_allowed / tcp_allowed);
+
   TextTable table({"Flood (ADF, depth 32)", "Responses per flood packet",
                    "Min DoS rate (pps)"});
   table.add_row({"TCP data, allowed", "1 (RST)", fmt_int(tcp_allowed)});
@@ -54,5 +62,6 @@ int main() {
   std::printf("deny vs silent-allow:       %.2f (should be ~1: the deny path\n"
               "                            itself adds no tolerance)\n\n",
               tcp_denied / udp_allowed);
+  bench::write_artifact(artifact);
   return 0;
 }

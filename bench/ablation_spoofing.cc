@@ -32,6 +32,13 @@ int main() {
   const double honest = min_rate(false);
   const double spoofed = min_rate(true);
 
+  telemetry::BenchArtifact artifact("ablation_spoofing");
+  bench::set_common_meta(artifact, opt);
+  artifact.add_point("real source (early deny)", 64, honest);
+  artifact.add_point("spoofed sources (deep allow)", 64, spoofed);
+  artifact.set_meta("early_denial_gain", honest / spoofed);
+  bench::write_artifact(artifact);
+
   TextTable table({"Attacker (ADF, deny-attacker rule at depth 1, allow at 64)",
                    "Min DoS rate (pps)"});
   table.add_row({"real source address (hits the early deny)", fmt_int(honest)});

@@ -18,6 +18,9 @@ int main() {
                       "Ihde & Sanders, DSN 2006 — EFW statelessness (sections 2, 4)");
   const auto opt = bench::bench_options();
 
+  telemetry::BenchArtifact artifact("ablation_stateful_nic");
+  bench::set_common_meta(artifact, opt);
+
   auto stateful_profile = firewall::efw_profile();
   stateful_profile.name = "EFW-stateful";
   stateful_profile.stateful = true;
@@ -30,6 +33,8 @@ int main() {
     const double stateless = measure_available_bandwidth(cfg, opt).mean();
     cfg.profile_override = stateful_profile;
     const double stateful = measure_available_bandwidth(cfg, opt).mean();
+    artifact.add_point("EFW stateless (Mbps)", depth, stateless);
+    artifact.add_point("EFW stateful (Mbps)", depth, stateful);
     fig2.add_row({std::to_string(depth), fmt(stateless), fmt(stateful)});
     std::fflush(stdout);
   }
@@ -54,6 +59,13 @@ int main() {
   fig3.add_row({"EFW stateful",
                 stateful_dos.rate_pps ? fmt_int(*stateful_dos.rate_pps) : "none"});
   std::printf("%s\n", fig3.to_string().c_str());
+  if (stateless_dos.rate_pps) {
+    artifact.add_point("EFW stateless min DoS (pps)", 64, *stateless_dos.rate_pps);
+  }
+  if (stateful_dos.rate_pps) {
+    artifact.add_point("EFW stateful min DoS (pps)", 64, *stateful_dos.rate_pps);
+  }
+  bench::write_artifact(artifact);
 
   std::printf(
       "Statefulness flattens the Figure 2 curve (established flows skip the\n"

@@ -15,6 +15,9 @@ int main() {
                       "Ihde & Sanders, DSN 2006, section 4.1 (VPG inference)");
   const auto opt = bench::bench_options();
 
+  telemetry::BenchArtifact artifact("ablation_vpg_crypto");
+  bench::set_common_meta(artifact, opt);
+
   TextTable table({"VPGs", "decrypt-at-match (Mbps)", "decrypt-always (Mbps)"});
   for (int vpgs : {1, 2, 3, 4}) {
     TestbedConfig at_match;
@@ -28,10 +31,13 @@ int main() {
     always.profile_override = profile;
     const double naive = measure_available_bandwidth(always, opt).mean();
 
+    artifact.add_point("decrypt-at-match (Mbps)", vpgs, real);
+    artifact.add_point("decrypt-always (Mbps)", vpgs, naive);
     table.add_row({std::to_string(vpgs), fmt(real), fmt(naive)});
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
+  bench::write_artifact(artifact);
   std::printf(
       "The decrypt-at-match column is nearly flat (the paper's observation);\n"
       "decrypt-always would fall steeply with every added non-matching VPG,\n"

@@ -11,6 +11,7 @@
 
 #include "core/experiments.h"
 #include "core/report.h"
+#include "telemetry/artifact.h"
 #include "util/logging.h"
 
 namespace barb::bench {
@@ -18,6 +19,13 @@ namespace barb::bench {
 inline bool fast_mode() {
   const char* env = std::getenv("BARB_BENCH_FAST");
   return env != nullptr && env[0] == '1';
+}
+
+// Output directory for bench artifacts (JSON, and CSV unless
+// BARB_BENCH_CSV_DIR overrides it). Defaults to the current directory.
+inline std::string out_dir() {
+  const char* env = std::getenv("BARB_BENCH_OUT");
+  return (env == nullptr || env[0] == '\0') ? "." : env;
 }
 
 inline core::MeasurementOptions bench_options() {
@@ -42,12 +50,13 @@ inline core::MinFloodSearchOptions bench_search_options() {
   return search;
 }
 
-// Writes a table's CSV to $BARB_BENCH_CSV_DIR/<name>.csv when the variable
-// is set (for plotting pipelines); no-op otherwise.
+// Writes a table's CSV to <dir>/<name>.csv, where <dir> is
+// $BARB_BENCH_CSV_DIR if set, else $BARB_BENCH_OUT, else ".".
 inline void maybe_write_csv(const char* name, const core::TextTable& table) {
-  const char* dir = std::getenv("BARB_BENCH_CSV_DIR");
-  if (dir == nullptr || dir[0] == '\0') return;
-  const std::string path = std::string(dir) + "/" + name + ".csv";
+  const char* csv_dir = std::getenv("BARB_BENCH_CSV_DIR");
+  const std::string dir =
+      (csv_dir != nullptr && csv_dir[0] != '\0') ? csv_dir : out_dir();
+  const std::string path = dir + "/" + name + ".csv";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -57,6 +66,46 @@ inline void maybe_write_csv(const char* name, const core::TextTable& table) {
   std::fwrite(csv.data(), 1, csv.size(), f);
   std::fclose(f);
   std::printf("(csv written to %s)\n", path.c_str());
+}
+
+// Stamps the standard metadata every artifact carries.
+inline void set_common_meta(telemetry::BenchArtifact& artifact,
+                            const core::MeasurementOptions& opt) {
+  artifact.set_meta("mode", fast_mode() ? "fast" : "full");
+  artifact.set_meta("window_s", opt.window.to_seconds());
+  artifact.set_meta("repetitions", static_cast<double>(opt.repetitions));
+  artifact.set_meta("seed", static_cast<double>(opt.seed));
+}
+
+// Converts a rendered table into summary points: column 0 is x, every other
+// column becomes one series named by its header. Cells that do not start
+// with a number (e.g. "no DoS", "yes") are skipped.
+inline void add_table_points(telemetry::BenchArtifact& artifact,
+                             const core::TextTable& table) {
+  const auto& headers = table.headers();
+  for (const auto& row : table.rows()) {
+    if (row.empty()) continue;
+    char* end = nullptr;
+    const double x = std::strtod(row[0].c_str(), &end);
+    if (end == row[0].c_str()) continue;
+    for (std::size_t c = 1; c < row.size() && c < headers.size(); ++c) {
+      end = nullptr;
+      const double y = std::strtod(row[c].c_str(), &end);
+      if (end == row[c].c_str()) continue;
+      artifact.add_point(headers[c], x, y);
+    }
+  }
+}
+
+// Writes BENCH_<figure>.json into $BARB_BENCH_OUT (default ".").
+inline void write_artifact(const telemetry::BenchArtifact& artifact) {
+  const std::string path = artifact.write_to(out_dir());
+  if (path.empty()) {
+    std::fprintf(stderr, "cannot write %s to %s\n", artifact.filename().c_str(),
+                 out_dir().c_str());
+    return;
+  }
+  std::printf("(bench artifact written to %s)\n", path.c_str());
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

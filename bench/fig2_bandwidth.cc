@@ -15,17 +15,25 @@ int main() {
                       "Ihde & Sanders, DSN 2006, Figure 2");
   const auto opt = bench::bench_options();
 
+  telemetry::BenchArtifact artifact("fig2_bandwidth");
+  bench::set_common_meta(artifact, opt);
+
   const int depths[] = {1, 2, 4, 8, 16, 32, 48, 64};
   TextTable table({"Rules Traversed", "No Firewall (Mbps)", "iptables (Mbps)",
                    "EFW (Mbps)", "ADF (Mbps)"});
+  const char* series_names[] = {"No Firewall", "iptables", "EFW", "ADF"};
   for (int depth : depths) {
     std::vector<std::string> row{std::to_string(depth)};
+    std::size_t series = 0;
     for (auto kind : {FirewallKind::kNone, FirewallKind::kIptables, FirewallKind::kEfw,
                       FirewallKind::kAdf}) {
       TestbedConfig cfg;
       cfg.firewall = kind;
       cfg.action_rule_depth = depth;
       const auto point = measure_available_bandwidth(cfg, opt);
+      artifact.add_point(series_names[series++], depth, point.mean(),
+                         point.mbps.count() > 1 ? std::optional(point.stddev())
+                                                : std::nullopt);
       row.push_back(fmt(point.mean()) +
                     (point.mbps.count() > 1 ? " +/-" + fmt(point.stddev()) : ""));
       std::fflush(stdout);
@@ -41,10 +49,12 @@ int main() {
     cfg.firewall = FirewallKind::kAdfVpg;
     cfg.action_rule_depth = vpgs;
     const auto point = measure_available_bandwidth(cfg, opt);
+    artifact.add_point("ADF (VPG)", vpgs, point.mean());
     vpg_table.add_row({std::to_string(vpgs), fmt(point.mean())});
   }
   std::printf("%s\n", vpg_table.to_string().c_str());
   barb::bench::maybe_write_csv("fig2_vpgs", vpg_table);
+  bench::write_artifact(artifact);
 
   std::printf("Paper anchors: EFW@64 ~50 Mbps, ADF@64 ~33 Mbps, iptables flat,\n"
               "no significant loss below ~20 rules, extra VPGs ~free.\n\n");

@@ -16,6 +16,11 @@ int main() {
   const auto opt = bench::bench_options();
   const auto search = bench::bench_search_options();
 
+  telemetry::BenchArtifact artifact("fig3b_min_flood_rate");
+  bench::set_common_meta(artifact, opt);
+  artifact.set_meta("flood", "tcp_data");
+  artifact.set_meta("search_precision", search.precision);
+
   struct Series {
     const char* name;
     FirewallKind kind;
@@ -41,6 +46,12 @@ int main() {
       // TCP data flood: when allowed, every packet draws a RST response.
       flood.type = apps::FloodType::kTcpData;
       const auto result = find_min_dos_flood_rate(cfg, flood, opt, search);
+      // The table is transposed (series down, depth across), so the artifact
+      // points are added per cell: x = rule depth, y = min DoS rate.
+      if (result.rate_pps) artifact.add_point(s.name, depth, *result.rate_pps);
+      if (result.lockup_observed) {
+        artifact.add_point(std::string(s.name) + " lockup", depth, 1.0);
+      }
       std::string cell = result.rate_pps ? fmt_int(*result.rate_pps) : "none";
       if (result.lockup_observed) cell += " [LOCKUP]";
       row.push_back(std::move(cell));
@@ -50,6 +61,7 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
   barb::bench::maybe_write_csv("fig3b", table);
+  bench::write_artifact(artifact);
   std::printf(
       "Paper anchors: allow-case minimum falls to ~4.5 kpps at 64 rules; at 8\n"
       "rules an attacker on a 10 Mbps link (max ~14.9 kpps) can already DoS;\n"

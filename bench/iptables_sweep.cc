@@ -13,6 +13,9 @@ int main() {
                       "Hoffman et al. baseline used in sections 4.1-4.2");
   const auto opt = bench::bench_options();
 
+  telemetry::BenchArtifact artifact("iptables_sweep");
+  bench::set_common_meta(artifact, opt);
+
   TextTable table({"Rules", "Bandwidth (Mbps)", "Bandwidth @30kpps flood (Mbps)"});
   for (int depth : {1, 8, 16, 32, 64, 100}) {
     TestbedConfig cfg;
@@ -26,6 +29,7 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
+  bench::add_table_points(artifact, table);
 
   // Flood search at the deepest rule-set: there must be no DoS rate.
   TestbedConfig cfg;
@@ -34,6 +38,9 @@ int main() {
   FloodSpec flood;
   const auto result =
       find_min_dos_flood_rate(cfg, flood, opt, bench::bench_search_options());
+  artifact.set_meta("min_dos_rate_at_100_rules",
+                    result.rate_pps ? *result.rate_pps : -1.0);
+  bench::write_artifact(artifact);
   std::printf("Minimum DoS flood rate at 100 rules: %s (paper/Hoffman: none "
               "achievable)\n\n",
               result.rate_pps ? fmt_int(*result.rate_pps).c_str() : "none");

@@ -62,12 +62,21 @@ double max_lossless_rate(FirewallKind kind, int depth, std::size_t frame_size) {
 int main() {
   bench::print_header("Appendix: RFC 2544-style Maximum Lossless Throughput",
                       "Ihde & Sanders, DSN 2006, section 4.1 methodology notes");
+  const auto opt = bench::bench_options();
+
+  telemetry::BenchArtifact artifact("rfc2544_throughput");
+  bench::set_common_meta(artifact, opt);
 
   TextTable direct({"Device (64 rules)", "64 B frames (pps)", "1514 B frames (pps)",
                     "1514 B frames (Mbps)"});
   for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
     const double small = max_lossless_rate(kind, 64, 60);
     const double big = max_lossless_rate(kind, 64, 1514);
+    // One series per device, x = frame size in bytes on the wire.
+    artifact.add_point(std::string(to_string(kind)) + " lossless rate (pps)", 60,
+                       small);
+    artifact.add_point(std::string(to_string(kind)) + " lossless rate (pps)", 1514,
+                       big);
     direct.add_row({to_string(kind), fmt_int(small), fmt_int(big),
                     fmt(big * 1514 * 8 / 1e6)});
     std::fflush(stdout);
@@ -75,7 +84,6 @@ int main() {
   std::printf("%s\n", direct.to_string().c_str());
 
   // The paper's indirect estimate from the Figure-2 bandwidth measurement.
-  const auto opt = bench::bench_options();
   TextTable indirect({"Device (64 rules)", "iperf BW (Mbps)",
                       "BW/FrameSize estimate (pps)"});
   for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
@@ -83,9 +91,12 @@ int main() {
     cfg.firewall = kind;
     cfg.action_rule_depth = 64;
     const double mbps = measure_available_bandwidth(cfg, opt).mean();
+    artifact.add_point(std::string(to_string(kind)) + " indirect estimate (pps)",
+                       1514, mbps * 1e6 / 8 / 1514);
     indirect.add_row({to_string(kind), fmt(mbps), fmt_int(mbps * 1e6 / 8 / 1514)});
   }
   std::printf("%s\n", indirect.to_string().c_str());
+  bench::write_artifact(artifact);
   std::printf(
       "The paper reports ~4100 pkt/s for the EFW/ADF behind 64 rules via the\n"
       "indirect method. Note the asymmetry the paper warns about: the lossless\n"

@@ -18,12 +18,26 @@ int main() {
                       "Ihde & Sanders, DSN 2006, Table 1");
   const auto opt = bench::bench_options();
 
+  telemetry::BenchArtifact artifact("table1_http");
+  bench::set_common_meta(artifact, opt);
+
   TextTable table({"Experiment", "HTTP Fetches/s", "ms/connect", "ms/first-response"});
+
+  // The table rows are text-labeled, so artifact points are added explicitly:
+  // one series per metric and configuration family, x = rule/VPG depth (the
+  // standard-NIC baseline sits at x = 0 of the rule-depth series).
+  auto add_http_point = [&](const char* family, int x, const HttpPoint& p) {
+    artifact.add_point(std::string(family) + " fetches/s", x, p.fetches_per_sec);
+    artifact.add_point(std::string(family) + " ms/connect", x, p.mean_connect_ms);
+    artifact.add_point(std::string(family) + " ms/first-response", x,
+                       p.mean_response_ms);
+  };
 
   TestbedConfig baseline;
   const auto base = measure_http_performance(baseline, opt);
   table.add_row({"Standard NIC", fmt(base.fetches_per_sec), fmt(base.mean_connect_ms, 2),
                  fmt(base.mean_response_ms, 2)});
+  add_http_point("ADF rules", 0, base);
 
   double worst_fetches = base.fetches_per_sec;
   for (int depth : {1, 4, 16, 32, 64}) {
@@ -33,6 +47,7 @@ int main() {
     const auto p = measure_http_performance(cfg, opt);
     table.add_row({"ADF, " + std::to_string(depth) + " rules", fmt(p.fetches_per_sec),
                    fmt(p.mean_connect_ms, 2), fmt(p.mean_response_ms, 2)});
+    add_http_point("ADF rules", depth, p);
     worst_fetches = std::min(worst_fetches, p.fetches_per_sec);
     std::fflush(stdout);
   }
@@ -43,11 +58,15 @@ int main() {
     const auto p = measure_http_performance(cfg, opt);
     table.add_row({"ADF, " + std::to_string(vpgs) + " VPG(s)", fmt(p.fetches_per_sec),
                    fmt(p.mean_connect_ms, 2), fmt(p.mean_response_ms, 2)});
+    add_http_point("ADF VPGs", vpgs, p);
     std::fflush(stdout);
   }
 
   std::printf("%s\n", table.to_string().c_str());
   barb::bench::maybe_write_csv("table1", table);
+  artifact.set_meta("worst_fetch_decrease_pct",
+                    (1.0 - worst_fetches / base.fetches_per_sec) * 100.0);
+  bench::write_artifact(artifact);
   std::printf("Worst-case ADF fetch-rate decrease vs. standard NIC: %.0f%%"
               " (paper: ~41%%)\n\n",
               (1.0 - worst_fetches / base.fetches_per_sec) * 100.0);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json bench artifact against the barb-bench-v1 schema.
+
+Usage: check_bench_json.py FILE [FILE ...] [--require-timeline]
+
+Checks, per file:
+  * top level is an object with schema == "barb-bench-v1", a non-empty
+    "figure" string, and "meta"/"points"/"timelines" of the right types;
+  * every point has a non-empty "series" string and finite numeric "x"/"y"
+    (optional numeric "stddev");
+  * every timeline has a "scenario" string and a "recording" whose "t" and
+    per-series "values" arrays are numeric and equal-length, with "kind" in
+    {counter, gauge, histogram};
+  * with --require-timeline, at least one timeline with at least one sample.
+
+Exit status 0 if every file passes, 1 otherwise (details on stderr).
+"""
+
+import json
+import math
+import sys
+
+KINDS = {"counter", "gauge", "histogram"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def check_points(path, points):
+    if not isinstance(points, list):
+        return fail(path, '"points" is not an array')
+    for i, p in enumerate(points):
+        where = f"points[{i}]"
+        if not isinstance(p, dict):
+            return fail(path, f"{where} is not an object")
+        if not isinstance(p.get("series"), str) or not p["series"]:
+            return fail(path, f'{where} lacks a non-empty "series"')
+        for k in ("x", "y"):
+            if not is_num(p.get(k)):
+                return fail(path, f'{where} field "{k}" is not a finite number')
+        if "stddev" in p and not is_num(p["stddev"]):
+            return fail(path, f'{where} field "stddev" is not a finite number')
+    return True
+
+
+def check_timelines(path, timelines):
+    if not isinstance(timelines, list):
+        return fail(path, '"timelines" is not an array')
+    for i, tl in enumerate(timelines):
+        where = f"timelines[{i}]"
+        if not isinstance(tl, dict):
+            return fail(path, f"{where} is not an object")
+        if not isinstance(tl.get("scenario"), str) or not tl["scenario"]:
+            return fail(path, f'{where} lacks a non-empty "scenario"')
+        rec = tl.get("recording")
+        if not isinstance(rec, dict):
+            return fail(path, f'{where} lacks a "recording" object')
+        if not is_num(rec.get("interval_s")) or rec["interval_s"] <= 0:
+            return fail(path, f'{where} "interval_s" is not a positive number')
+        t = rec.get("t")
+        if not isinstance(t, list) or not all(is_num(v) for v in t):
+            return fail(path, f'{where} "t" is not a numeric array')
+        if t != sorted(t):
+            return fail(path, f'{where} "t" is not ascending')
+        series = rec.get("series")
+        if not isinstance(series, list):
+            return fail(path, f'{where} "series" is not an array')
+        for j, s in enumerate(series):
+            sw = f"{where}.series[{j}]"
+            if not isinstance(s, dict):
+                return fail(path, f"{sw} is not an object")
+            if not isinstance(s.get("metric"), str) or not s["metric"]:
+                return fail(path, f'{sw} lacks a non-empty "metric"')
+            if not isinstance(s.get("labels"), str):
+                return fail(path, f'{sw} lacks a "labels" string')
+            if s.get("kind") not in KINDS:
+                return fail(path, f'{sw} "kind" {s.get("kind")!r} not in {sorted(KINDS)}')
+            values = s.get("values")
+            if not isinstance(values, list) or not all(is_num(v) for v in values):
+                return fail(path, f'{sw} "values" is not a numeric array')
+            if len(values) != len(t):
+                return fail(
+                    path,
+                    f'{sw} has {len(values)} values for {len(t)} timestamps',
+                )
+    return True
+
+
+def check_file(path, require_timeline):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != "barb-bench-v1":
+        return fail(path, f'schema {doc.get("schema")!r} != "barb-bench-v1"')
+    if not isinstance(doc.get("figure"), str) or not doc["figure"]:
+        return fail(path, 'lacks a non-empty "figure"')
+    if not isinstance(doc.get("meta"), dict):
+        return fail(path, '"meta" is not an object')
+    if not check_points(path, doc.get("points")):
+        return False
+    if not check_timelines(path, doc.get("timelines")):
+        return False
+    if require_timeline:
+        timelines = doc["timelines"]
+        if not timelines:
+            return fail(path, "has no timelines (--require-timeline)")
+        if all(not tl["recording"]["t"] for tl in timelines):
+            return fail(path, "timelines contain no samples (--require-timeline)")
+    n_series = sum(len(tl["recording"]["series"]) for tl in doc["timelines"])
+    print(
+        f"{path}: ok ({len(doc['points'])} points, {len(doc['timelines'])} "
+        f"timelines, {n_series} series)"
+    )
+    return True
+
+
+def main(argv):
+    require_timeline = "--require-timeline" in argv
+    files = [a for a in argv if not a.startswith("--")]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        return 1
+    ok = all([check_file(f, require_timeline) for f in files])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -143,6 +143,78 @@ MinFloodResult find_min_dos_flood_rate(const TestbedConfig& config,
   return result;
 }
 
+FloodTimeline record_flood_timeline(const TestbedConfig& config,
+                                    const FloodSpec& flood,
+                                    const MeasurementOptions& options,
+                                    const FloodTimelineOptions& timeline) {
+  // The registry outlives everything it samples: declared first, destroyed
+  // last, and only sampled while the simulation below is alive.
+  telemetry::MetricRegistry registry;
+  sim::Simulation sim(options.seed);
+  Testbed tb(sim, config);
+  apps::IperfServer server(tb.target());
+  server.start();
+  tb.settle();
+  tb.register_metrics(registry);
+
+  registry.counter_fn("iperf.server_rx_bytes", "host=target", [&server] {
+    return static_cast<double>(server.tcp_bytes_received());
+  });
+  // Interval goodput: Mbps delivered to the server since the previous probe
+  // sample. The probe samples each gauge exactly once per tick, so the
+  // mutable previous-sample state stays consistent and deterministic.
+  struct GoodputState {
+    std::uint64_t prev_bytes = 0;
+    double prev_t = 0;
+  };
+  auto gp = std::make_shared<GoodputState>();
+  gp->prev_t = sim.now().to_seconds();
+  registry.gauge("iperf.goodput_mbps", "host=target", [&server, &sim, gp] {
+    const double now = sim.now().to_seconds();
+    const std::uint64_t bytes = server.tcp_bytes_received();
+    const double dt = now - gp->prev_t;
+    const double mbps =
+        dt > 0 ? static_cast<double>(bytes - gp->prev_bytes) * 8.0 / dt / 1e6 : 0.0;
+    gp->prev_bytes = bytes;
+    gp->prev_t = now;
+    return mbps;
+  });
+
+  telemetry::TimeSeriesProbe probe(sim, registry, timeline.interval);
+  probe.start();
+
+  std::optional<apps::FloodGenerator> generator;
+  if (flood.rate_pps > 0) {
+    apps::FloodConfig fc;
+    fc.target = tb.addresses().target;
+    fc.target_port = kFloodPort;
+    fc.type = flood.type;
+    fc.rate_pps = flood.rate_pps;
+    fc.frame_size = flood.frame_size;
+    fc.spoof_source = flood.spoof_source;
+    generator.emplace(tb.attacker(), fc);
+    generator->start();
+    sim.run_for(options.flood_warmup);
+  }
+
+  apps::IperfClient client(tb.client(), tb.addresses().target);
+  std::optional<double> measured;
+  client.run(apps::IperfClient::Mode::kTcp, options.window,
+             [&](apps::IperfResult r) { measured = r.completed ? r.mbps : 0.0; });
+  sim.run_for(options.window + options.grace);
+  if (!measured) {
+    client.cancel();
+    sim.run_for(sim::Duration::milliseconds(1));
+  }
+  if (generator) generator->stop();
+  probe.stop();
+
+  FloodTimeline result;
+  result.mbps = measured.value_or(0.0);
+  result.recording = probe.recording();
+  return result;
+}
+
 HttpPoint measure_http_performance(const TestbedConfig& config,
                                    const MeasurementOptions& options,
                                    std::size_t page_bytes) {

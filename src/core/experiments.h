@@ -14,6 +14,7 @@
 
 #include "apps/flood_generator.h"
 #include "core/testbed.h"
+#include "telemetry/probe.h"
 #include "util/stats.h"
 
 namespace barb::core {
@@ -76,6 +77,26 @@ MinFloodResult find_min_dos_flood_rate(const TestbedConfig& config,
                                        const FloodSpec& flood,
                                        const MeasurementOptions& options = {},
                                        const MinFloodSearchOptions& search = {});
+
+struct FloodTimelineOptions {
+  // Sampling cadence for the time-series probe (sim clock).
+  sim::Duration interval = sim::Duration::milliseconds(50);
+};
+
+struct FloodTimeline {
+  telemetry::ProbeRecording recording;
+  double mbps = 0;  // goodput of the accompanying iperf transfer
+};
+
+// One flood + one iperf transfer with every testbed metric sampled on a
+// fixed sim-clock interval: the time-series behind a BENCH_*.json artifact
+// (goodput vs. time, firewall drops, queue depths, ...). Deterministic:
+// identical seeds yield identical recordings. A flood rate <= 0 records an
+// attack-free baseline.
+FloodTimeline record_flood_timeline(const TestbedConfig& config,
+                                    const FloodSpec& flood,
+                                    const MeasurementOptions& options = {},
+                                    const FloodTimelineOptions& timeline = {});
 
 struct HttpPoint {
   double fetches_per_sec = 0;

@@ -16,6 +16,10 @@ class TextTable {
   std::string to_string() const;
   std::string to_csv() const;
 
+  // Raw access for machine-readable exporters (telemetry bench artifacts).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

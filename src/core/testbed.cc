@@ -230,6 +230,23 @@ void Testbed::install_policies() {
   }
 }
 
+void Testbed::register_metrics(telemetry::MetricRegistry& registry) {
+  stack::Host* hosts[] = {policy_host_.get(), attacker_.get(), client_.get(),
+                          target_.get()};
+  for (std::size_t i = 0; i < links_.size() && i < 4; ++i) {
+    const std::string name = hosts[i]->name();
+    hosts[i]->register_metrics(registry, "host=" + name);
+    // a() is the host-side port; b() is the switch side, whose TX queue is
+    // the switch egress queue toward that host.
+    links_[i]->a().register_metrics(registry, "link=" + name + ",side=host");
+    links_[i]->b().register_metrics(registry, "link=" + name + ",side=switch");
+  }
+  switch_->register_metrics(registry, "");
+  if (target_fw_ != nullptr) target_fw_->register_metrics(registry, "host=target");
+  if (client_fw_ != nullptr) client_fw_->register_metrics(registry, "host=client");
+  if (iptables_) iptables_->register_metrics(registry, "host=target");
+}
+
 void Testbed::settle() {
   if (!config_.use_policy_server || target_fw_ == nullptr) return;
   const std::uint64_t want_target = policy_server_->policy_version(addr_.target);

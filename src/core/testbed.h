@@ -17,6 +17,7 @@
 #include "link/switch.h"
 #include "sim/simulation.h"
 #include "stack/host.h"
+#include "telemetry/registry.h"
 
 namespace barb::core {
 
@@ -95,6 +96,14 @@ class Testbed {
   // Runs the simulation until policy is in place (policy-server mode) or
   // returns immediately (direct mode). Call once before measurements.
   void settle();
+
+  // Registers every component's metrics: the four hosts ("host=<name>"),
+  // both sides of each access link ("link=<name>,side=host|switch"), the
+  // switch (with per-port egress queue gauges), the device under test, and
+  // the software firewall when present. The registry must outlive nothing:
+  // declare it before the Testbed (or at least stop sampling it once the
+  // Testbed is gone).
+  void register_metrics(telemetry::MetricRegistry& registry);
 
   // The policy text installed on the target (for inspection/tests).
   const std::string& target_policy_text() const { return target_policy_; }

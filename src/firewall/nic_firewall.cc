@@ -101,6 +101,7 @@ void FirewallNic::start_next() {
     if (!state_hit) {
       const MatchResult mr = rules_.match(*view);
       service += profile_.per_rule * static_cast<std::int64_t>(mr.rules_traversed);
+      fwstats_.rules_traversed += static_cast<std::uint64_t>(mr.rules_traversed);
       job.action = mr.action;
       job.vpg_id = mr.vpg_id;
       if (mr.action == RuleAction::kVpg) {
@@ -132,6 +133,9 @@ void FirewallNic::start_next() {
   }
 
   fwstats_.cpu_busy += service;
+  if (service_hist_ != nullptr) {
+    service_hist_->record(static_cast<std::uint64_t>(service.ns()));
+  }
   sim_.schedule(service, [this, epoch = service_epoch_] {
     if (epoch != service_epoch_) return;  // card was restarted mid-service
     busy_ = false;
@@ -206,6 +210,55 @@ void FirewallNic::finish(Job job) {
       ++fwstats_.tx_denied;
       ++stats_.tx_dropped;
       return;
+  }
+}
+
+void FirewallNic::register_metrics(telemetry::MetricRegistry& registry,
+                                   const std::string& labels) {
+  auto fw_counter = [&](const char* name, const std::uint64_t* field) {
+    registry.counter_fn(name, labels,
+                        [field] { return static_cast<double>(*field); });
+  };
+  fw_counter("fw.rx_ring_drops", &fwstats_.rx_ring_drops);
+  fw_counter("fw.rx_ring_drops_large", &fwstats_.rx_ring_drops_large);
+  fw_counter("fw.tx_ring_drops", &fwstats_.tx_ring_drops);
+  fw_counter("fw.rx_allowed", &fwstats_.rx_allowed);
+  fw_counter("fw.rx_denied", &fwstats_.rx_denied);
+  fw_counter("fw.tx_allowed", &fwstats_.tx_allowed);
+  fw_counter("fw.tx_denied", &fwstats_.tx_denied);
+  fw_counter("fw.vpg_drops", &fwstats_.vpg_drops);
+  fw_counter("fw.lockup_drops", &fwstats_.lockup_drops);
+  fw_counter("fw.frames_processed", &fwstats_.frames_processed);
+  fw_counter("fw.rules_traversed", &fwstats_.rules_traversed);
+  registry.counter_fn("fw.cpu_busy_seconds", labels,
+                      [this] { return fwstats_.cpu_busy.to_seconds(); });
+  registry.gauge("fw.queue_depth", labels,
+                 [this] { return static_cast<double>(queue_.size()); });
+  registry.gauge("fw.rx_buffered_bytes", labels,
+                 [this] { return static_cast<double>(rx_buffered_bytes_); });
+  registry.gauge("fw.tx_buffered_bytes", labels,
+                 [this] { return static_cast<double>(tx_buffered_bytes_); });
+  registry.gauge("fw.locked_up", labels,
+                 [this] { return locked_ ? 1.0 : 0.0; });
+  service_hist_ = &registry.histogram("fw.service_time_ns", labels);
+
+  if (guard_.config().enabled) {
+    // guard_ has stable address even if enable_flood_guard replaces it.
+    auto guard_counter = [&](const char* name, std::uint64_t FloodGuardStats::* field) {
+      registry.counter_fn(name, labels, [this, field] {
+        return static_cast<double>(guard_.stats().*field);
+      });
+    };
+    guard_counter("guard.screened", &FloodGuardStats::screened);
+    guard_counter("guard.per_source_drops", &FloodGuardStats::per_source_drops);
+    guard_counter("guard.new_source_drops", &FloodGuardStats::new_source_drops);
+    guard_counter("guard.aggregate_drops", &FloodGuardStats::aggregate_drops);
+    guard_counter("guard.penalized_drops", &FloodGuardStats::penalized_drops);
+    guard_counter("guard.penalties_imposed", &FloodGuardStats::penalties_imposed);
+    guard_counter("guard.evictions", &FloodGuardStats::evictions);
+    registry.gauge("guard.tracked_sources", labels, [this] {
+      return static_cast<double>(guard_.tracked_sources());
+    });
   }
 }
 

@@ -17,6 +17,7 @@
 #include "firewall/rule_set.h"
 #include "firewall/vpg.h"
 #include "stack/nic.h"
+#include "telemetry/registry.h"
 
 namespace barb::firewall {
 
@@ -31,6 +32,7 @@ struct FirewallNicStats {
   std::uint64_t vpg_drops = 0;     // failed encap/decap (auth, replay, oversize)
   std::uint64_t lockup_drops = 0;  // frames discarded while latched
   std::uint64_t frames_processed = 0;
+  std::uint64_t rules_traversed = 0;  // total rule-walk length across frames
   sim::Duration cpu_busy;          // accumulated embedded-CPU service time
 };
 
@@ -69,6 +71,12 @@ class FirewallNic : public stack::Nic {
   const FirewallNicStats& fw_stats() const { return fwstats_; }
   const FlowStateTable& flow_states() const { return flow_states_; }
   bool locked_up() const { return locked_; }
+
+  // Registers the card's counters ("fw.*"), queue gauges, a service-time
+  // histogram ("fw.service_time_ns", fed by every processed frame), and —
+  // when FloodGuard is enabled — the "guard.*" screening counters.
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels);
 
   // Firewall-agent restart: clears the lockup latch and flushes the rings.
   // This is the paper's observed recovery procedure for the EFW deny-flood
@@ -119,6 +127,8 @@ class FirewallNic : public stack::Nic {
   std::uint64_t deny_window_count_ = 0;
 
   FirewallNicStats fwstats_;
+  // Registry-owned service-time histogram; null until register_metrics.
+  telemetry::Histogram* service_hist_ = nullptr;
 };
 
 }  // namespace barb::firewall

@@ -34,6 +34,9 @@ void SoftwareFirewall::start_next() {
               config_.per_rule * static_cast<std::int64_t>(mr.rules_traversed);
   }
   stats_.cpu_busy += service;
+  if (service_hist_ != nullptr) {
+    service_hist_->record(static_cast<std::uint64_t>(service.ns()));
+  }
 
   sim_.schedule(service, [this, action = mr.action] {
     busy_ = false;
@@ -50,6 +53,21 @@ void SoftwareFirewall::start_next() {
     }
     start_next();
   });
+}
+
+void SoftwareFirewall::register_metrics(telemetry::MetricRegistry& registry,
+                                        const std::string& labels) {
+  registry.counter_fn("swfw.allowed", labels,
+                      [this] { return static_cast<double>(stats_.allowed); });
+  registry.counter_fn("swfw.denied", labels,
+                      [this] { return static_cast<double>(stats_.denied); });
+  registry.counter_fn("swfw.backlog_drops", labels,
+                      [this] { return static_cast<double>(stats_.backlog_drops); });
+  registry.counter_fn("swfw.cpu_busy_seconds", labels,
+                      [this] { return stats_.cpu_busy.to_seconds(); });
+  registry.gauge("swfw.queue_depth", labels,
+                 [this] { return static_cast<double>(queue_.size()); });
+  service_hist_ = &registry.histogram("swfw.service_time_ns", labels);
 }
 
 }  // namespace barb::firewall

@@ -13,6 +13,7 @@
 #include "firewall/rule_set.h"
 #include "sim/simulation.h"
 #include "stack/packet_filter.h"
+#include "telemetry/registry.h"
 
 namespace barb::firewall {
 
@@ -44,6 +45,11 @@ class SoftwareFirewall : public stack::HostPacketFilter {
   void filter(stack::FilterDirection direction, net::Packet pkt,
               Resume resume) override;
 
+  // Registers "swfw.*" counters, a backlog-depth gauge, and a per-packet
+  // service-time histogram ("swfw.service_time_ns").
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels);
+
  private:
   struct Job {
     net::Packet pkt;
@@ -58,6 +64,7 @@ class SoftwareFirewall : public stack::HostPacketFilter {
   std::deque<Job> queue_;
   bool busy_ = false;
   SoftwareFirewallStats stats_;
+  telemetry::Histogram* service_hist_ = nullptr;  // registry-owned
 };
 
 }  // namespace barb::firewall

@@ -42,6 +42,7 @@ void LinkPort::start_transmission(net::Packet pkt) {
   const auto tx_time = frame_time(pkt.size());
   stats_.tx_frames++;
   stats_.tx_bytes += pkt.size();
+  stats_.busy_time += tx_time;
 
   auto& sim = link_->simulation();
   const auto arrival = tx_time + link_->config().propagation;
@@ -54,6 +55,26 @@ void LinkPort::start_transmission(net::Packet pkt) {
   // The transmitter frees after serialization (IFG already accounted in
   // frame_time), independent of propagation.
   sim.schedule(tx_time, [this] { on_transmit_complete(); });
+}
+
+void LinkPort::register_metrics(telemetry::MetricRegistry& registry,
+                                const std::string& labels) const {
+  registry.counter_fn("link.tx_frames", labels,
+                      [this] { return static_cast<double>(stats_.tx_frames); });
+  registry.counter_fn("link.tx_bytes", labels,
+                      [this] { return static_cast<double>(stats_.tx_bytes); });
+  registry.counter_fn("link.rx_frames", labels,
+                      [this] { return static_cast<double>(stats_.rx_frames); });
+  registry.counter_fn("link.rx_bytes", labels,
+                      [this] { return static_cast<double>(stats_.rx_bytes); });
+  registry.counter_fn("link.tx_drops", labels,
+                      [this] { return static_cast<double>(stats_.dropped_frames); });
+  registry.counter_fn("link.busy_seconds", labels,
+                      [this] { return stats_.busy_time.to_seconds(); });
+  registry.gauge("link.queue_depth", labels,
+                 [this] { return static_cast<double>(queue_depth()); });
+  registry.gauge("link.queued_bytes", labels,
+                 [this] { return static_cast<double>(queued_bytes_); });
 }
 
 void LinkPort::on_transmit_complete() {

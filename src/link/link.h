@@ -16,6 +16,7 @@
 #include "net/ethernet.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
+#include "telemetry/registry.h"
 
 namespace barb::link {
 
@@ -34,6 +35,9 @@ struct LinkPortStats {
   std::uint64_t rx_frames = 0;
   std::uint64_t rx_bytes = 0;
   std::uint64_t dropped_frames = 0;  // TX queue overflow
+  // Accumulated serialization time; delta(busy_time)/delta(t) between probe
+  // samples is the link's TX utilization over that interval.
+  sim::Duration busy_time;
 };
 
 class Link;
@@ -50,7 +54,14 @@ class LinkPort {
 
   const LinkPortStats& stats() const { return stats_; }
   std::size_t queue_depth() const { return queue_.size() + (transmitting_ ? 1 : 0); }
+  std::size_t queued_bytes() const { return queued_bytes_; }
   bool connected() const { return link_ != nullptr; }
+
+  // Registers this port's stats (frames/bytes/drops/busy time, queue depth)
+  // under "link.*" with the given label set. The registry must not be
+  // sampled after this port is destroyed.
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels) const;
 
   // Wire occupancy time of a frame on this link.
   sim::Duration frame_time(std::size_t frame_bytes) const;

@@ -81,4 +81,23 @@ void Switch::forward(int egress, net::Packet pkt) {
   ports_[static_cast<std::size_t>(egress)]->send(std::move(pkt));
 }
 
+void Switch::register_metrics(telemetry::MetricRegistry& registry,
+                              const std::string& labels) const {
+  registry.counter_fn("switch.forwarded", labels,
+                      [this] { return static_cast<double>(stats_.forwarded); });
+  registry.counter_fn("switch.flooded", labels,
+                      [this] { return static_cast<double>(stats_.flooded); });
+  registry.counter_fn("switch.filtered", labels,
+                      [this] { return static_cast<double>(stats_.filtered); });
+  for (int p = 0; p < num_ports(); ++p) {
+    const LinkPort* port = ports_[static_cast<std::size_t>(p)];
+    registry.gauge("switch.egress_queue_depth",
+                   telemetry::join_labels(labels, "port=" + std::to_string(p)),
+                   [port] { return static_cast<double>(port->queue_depth()); });
+    registry.gauge("switch.egress_queued_bytes",
+                   telemetry::join_labels(labels, "port=" + std::to_string(p)),
+                   [port] { return static_cast<double>(port->queued_bytes()); });
+  }
+}
+
 }  // namespace barb::link

@@ -47,6 +47,12 @@ class Switch {
   const SwitchStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
+  // Registers forwarding counters plus a per-port egress queue-depth gauge
+  // ("switch.egress_queue_depth"{...,port=N}) for every currently attached
+  // port. Call after the topology is built.
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels) const;
+
   // Learned port for a MAC, or -1 (exposed for tests).
   int lookup(const net::MacAddress& mac) const;
 

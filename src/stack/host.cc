@@ -28,6 +28,31 @@ Host::Host(sim::Simulation& sim, std::string name, net::Ipv4Address ip,
 
 Host::~Host() = default;
 
+void Host::register_metrics(telemetry::MetricRegistry& registry,
+                            const std::string& labels) const {
+  auto host_counter = [&](const char* name, const std::uint64_t* field) {
+    registry.counter_fn(name, labels,
+                       [field] { return static_cast<double>(*field); });
+  };
+  host_counter("host.ip_rx", &stats_.ip_rx);
+  host_counter("host.ip_rx_dropped", &stats_.ip_rx_dropped);
+  host_counter("host.ip_tx", &stats_.ip_tx);
+  host_counter("host.tcp_rst_sent", &stats_.tcp_rst_sent);
+  host_counter("host.icmp_unreachable_sent", &stats_.icmp_unreachable_sent);
+  host_counter("host.icmp_unreachable_suppressed", &stats_.icmp_unreachable_suppressed);
+  host_counter("host.icmp_echo_replies", &stats_.icmp_echo_replies);
+
+  const NicStats& nic = nic_->stats();
+  host_counter("nic.rx_frames", &nic.rx_frames);
+  host_counter("nic.rx_delivered", &nic.rx_delivered);
+  host_counter("nic.rx_dropped", &nic.rx_dropped);
+  host_counter("nic.tx_requested", &nic.tx_requested);
+  host_counter("nic.tx_sent", &nic.tx_sent);
+  host_counter("nic.tx_dropped", &nic.tx_dropped);
+
+  tcp_->register_metrics(registry, labels);
+}
+
 UdpSocket* Host::udp_open(std::uint16_t local_port) { return udp_->open(local_port); }
 
 TcpListener* Host::tcp_listen(

@@ -22,6 +22,7 @@
 #include "stack/arp_table.h"
 #include "stack/nic.h"
 #include "stack/packet_filter.h"
+#include "telemetry/registry.h"
 #include "util/token_bucket.h"
 
 namespace barb::stack {
@@ -73,6 +74,12 @@ class Host : public link::FrameSink {
   // Installs a host-resident packet filter (software firewall); nullptr
   // removes it. Not owned.
   void set_packet_filter(HostPacketFilter* filter) { filter_ = filter; }
+
+  // Registers this host's IP/ICMP counters ("host.*"), its NIC's generic
+  // frame counters ("nic.*"), and the TCP stack's "tcp.*" metrics under the
+  // given label set (conventionally "host=<name>").
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels) const;
 
   // --- ICMP echo (ping) ---
   // Sends an echo request; the reply (if any) is delivered to the handler

@@ -782,7 +782,59 @@ bool TcpLayer::port_in_use(std::uint16_t port) const {
   return false;
 }
 
-void TcpLayer::remove(const net::FiveTuple& key) { connections_.erase(key); }
+namespace {
+void accumulate(TcpConnectionStats& into, const TcpConnectionStats& from) {
+  into.segments_sent += from.segments_sent;
+  into.segments_received += from.segments_received;
+  into.bytes_sent += from.bytes_sent;
+  into.bytes_acked += from.bytes_acked;
+  into.bytes_received += from.bytes_received;
+  into.retransmissions += from.retransmissions;
+  into.timeouts += from.timeouts;
+  into.fast_retransmits += from.fast_retransmits;
+}
+}  // namespace
+
+void TcpLayer::remove(const net::FiveTuple& key) {
+  auto it = connections_.find(key);
+  if (it == connections_.end()) return;
+  accumulate(closed_totals_, it->second->stats());
+  connections_.erase(it);
+}
+
+TcpConnectionStats TcpLayer::aggregate_stats() const {
+  TcpConnectionStats total = closed_totals_;
+  for (const auto& [key, conn] : connections_) accumulate(total, conn->stats());
+  return total;
+}
+
+double TcpLayer::total_cwnd_bytes() const {
+  double total = 0;
+  for (const auto& [key, conn] : connections_) {
+    if (conn->state() == TcpState::kEstablished) total += conn->cwnd_bytes();
+  }
+  return total;
+}
+
+void TcpLayer::register_metrics(telemetry::MetricRegistry& registry,
+                                const std::string& labels) const {
+  auto counter = [&](const char* name, auto field) {
+    registry.counter_fn(name, labels, [this, field] {
+      return static_cast<double>(aggregate_stats().*field);
+    });
+  };
+  counter("tcp.segments_sent", &TcpConnectionStats::segments_sent);
+  counter("tcp.segments_received", &TcpConnectionStats::segments_received);
+  counter("tcp.bytes_acked", &TcpConnectionStats::bytes_acked);
+  counter("tcp.bytes_received", &TcpConnectionStats::bytes_received);
+  counter("tcp.retransmissions", &TcpConnectionStats::retransmissions);
+  counter("tcp.timeouts", &TcpConnectionStats::timeouts);
+  counter("tcp.fast_retransmits", &TcpConnectionStats::fast_retransmits);
+  registry.gauge("tcp.connections", labels, [this] {
+    return static_cast<double>(connections_.size());
+  });
+  registry.gauge("tcp.cwnd_bytes", labels, [this] { return total_cwnd_bytes(); });
+}
 
 void TcpLayer::close_listener(TcpListener* listener) {
   if (listener == nullptr) return;

@@ -28,6 +28,7 @@
 #include "net/tcp_header.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
+#include "telemetry/registry.h"
 
 namespace barb::stack {
 
@@ -243,6 +244,17 @@ class TcpLayer {
   bool port_in_use(std::uint16_t port) const;
   std::size_t connection_count() const { return connections_.size(); }
 
+  // Host-wide cumulative stats: closed connections' totals plus everything
+  // the live connections have accumulated so far.
+  TcpConnectionStats aggregate_stats() const;
+  // Sum of live connections' congestion windows (bytes).
+  double total_cwnd_bytes() const;
+
+  // Registers "tcp.*" counters (segments, bytes, retransmits, timeouts) and
+  // gauges (live connections, total cwnd) for this host's stack.
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels) const;
+
  private:
   friend class TcpConnection;
   friend class TcpListener;
@@ -260,6 +272,7 @@ class TcpLayer {
   Host& host_;
   std::unordered_map<net::FiveTuple, std::shared_ptr<TcpConnection>> connections_;
   std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  TcpConnectionStats closed_totals_;  // accumulated when connections are removed
 };
 
 }  // namespace barb::stack

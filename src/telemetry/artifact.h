@@ -1,0 +1,77 @@
+// Machine-readable bench artifacts: every bench binary emits one
+// BENCH_<figure>.json with a stable schema so the repo's perf trajectory is
+// diffable across commits.
+//
+// Schema "barb-bench-v1" (validated by scripts/check_bench_json.py):
+// {
+//   "schema": "barb-bench-v1",
+//   "figure": "<binary name>",
+//   "meta": { "mode": "fast|full", "window_s": .., "repetitions": .., ... },
+//   "points": [ {"series": "<curve>", "x": .., "y": .., "stddev": ..?} ],
+//   "timelines": [
+//     { "scenario": "<label>",
+//       "recording": { "interval_s": .., "t": [..],
+//                      "series": [ {"metric","labels","kind","values"} ] } }
+//   ]
+// }
+//
+// `points` are summary scalars (one per table cell); `timelines` are
+// sim-time series captured by a TimeSeriesProbe. Meta keys keep insertion
+// order, and everything else is emitted in deterministic order, so two
+// same-seed runs write byte-identical files.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/probe.h"
+
+namespace barb::telemetry {
+
+struct BenchPoint {
+  std::string series;
+  double x = 0;
+  double y = 0;
+  std::optional<double> stddev;
+};
+
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string figure) : figure_(std::move(figure)) {}
+
+  const std::string& figure() const { return figure_; }
+  std::string filename() const { return "BENCH_" + figure_ + ".json"; }
+
+  void set_meta(const std::string& key, const std::string& value);
+  void set_meta(const std::string& key, double value);
+
+  void add_point(const std::string& series, double x, double y,
+                 std::optional<double> stddev = std::nullopt);
+  void add_recording(const std::string& scenario, ProbeRecording recording);
+
+  std::size_t num_points() const { return points_.size(); }
+  std::size_t num_timelines() const { return timelines_.size(); }
+
+  std::string to_json() const;
+
+  // Writes filename() under `dir`; returns the full path, or "" on failure.
+  std::string write_to(const std::string& dir) const;
+
+ private:
+  struct Timeline {
+    std::string scenario;
+    ProbeRecording recording;
+  };
+
+  std::string figure_;
+  // (key, pre-encoded JSON value); insertion order preserved, last set wins.
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<BenchPoint> points_;
+  std::vector<Timeline> timelines_;
+
+  void set_meta_raw(const std::string& key, std::string encoded);
+};
+
+}  // namespace barb::telemetry

@@ -1,0 +1,196 @@
+#include "telemetry/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace barb::telemetry {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  BARB_ASSERT(!first_.empty());
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  BARB_ASSERT(!first_.empty());
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view text) {
+  separate();
+  out_ += text;
+  return *this;
+}
+
+void write_metric(JsonWriter& w, const MetricRegistry::Entry& entry) {
+  w.begin_object();
+  w.key("name").value(entry.id.name);
+  w.key("labels").value(entry.id.labels);
+  w.key("kind").value(to_string(entry.kind));
+  w.key("value").value(entry.sample());
+  if (entry.kind == MetricKind::kHistogram && entry.histogram) {
+    const Histogram& h = *entry.histogram;
+    w.key("count").value(h.count());
+    w.key("mean").value(h.mean());
+    w.key("min").value(h.min());
+    w.key("max").value(h.max());
+    w.key("p50").value(h.quantile(0.50));
+    w.key("p90").value(h.quantile(0.90));
+    w.key("p99").value(h.quantile(0.99));
+    w.key("buckets").begin_array();
+    h.for_each_bucket([&](std::uint64_t lo, std::uint64_t hi, std::uint64_t c) {
+      w.begin_array().value(lo).value(hi).value(c).end_array();
+    });
+    w.end_array();
+  }
+  w.end_object();
+}
+
+std::string registry_to_json(const MetricRegistry& registry) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics").begin_array();
+  registry.for_each([&](const MetricRegistry::Entry& entry) { write_metric(w, entry); });
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_series(JsonWriter& w, const ProbeSeries& series) {
+  w.begin_object();
+  w.key("metric").value(series.id.name);
+  w.key("labels").value(series.id.labels);
+  w.key("kind").value(to_string(series.kind));
+  w.key("values").begin_array();
+  for (double v : series.values) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
+void write_recording(JsonWriter& w, const ProbeRecording& recording) {
+  w.begin_object();
+  w.key("interval_s").value(recording.interval_s);
+  w.key("t").begin_array();
+  for (double t : recording.timestamps_s) w.value(t);
+  w.end_array();
+  w.key("series").begin_array();
+  for (const auto& s : recording.series) write_series(w, s);
+  w.end_array();
+  w.end_object();
+}
+
+std::string recording_to_json(const ProbeRecording& recording) {
+  JsonWriter w;
+  write_recording(w, recording);
+  return w.str();
+}
+
+}  // namespace barb::telemetry

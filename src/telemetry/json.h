@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer plus exporters for registry snapshots and
+// probe recordings. No external dependency; output is deterministic: keys
+// come out in registry (sorted) order and doubles are formatted by one
+// fixed rule, so same-seed runs serialize byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/probe.h"
+#include "telemetry/registry.h"
+
+namespace barb::telemetry {
+
+// Deterministic double formatting: integral values (|v| < 1e15) print with
+// no fraction, everything else with %.12g. NaN/inf become null.
+std::string format_double(double v);
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& raw(std::string_view text);  // pre-encoded JSON fragment
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();
+
+  std::string out_;
+  // One flag per open scope: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+// One metric entry as a JSON object: {"name":..,"labels":..,"kind":..,
+// "value":..} with histogram summaries (count/mean/min/max/p50/p90/p99)
+// and non-empty buckets for histogram entries.
+void write_metric(JsonWriter& w, const MetricRegistry::Entry& entry);
+
+// Full registry snapshot: {"metrics": [ ... ]}.
+std::string registry_to_json(const MetricRegistry& registry);
+
+// One probe series as {"metric":..,"labels":..,"kind":..,"values":[..]}.
+void write_series(JsonWriter& w, const ProbeSeries& series);
+
+// Full recording: {"interval_s":..,"t":[..],"series":[..]}.
+void write_recording(JsonWriter& w, const ProbeRecording& recording);
+std::string recording_to_json(const ProbeRecording& recording);
+
+}  // namespace barb::telemetry

@@ -1,0 +1,60 @@
+// Metric primitives for the telemetry subsystem.
+//
+// Three kinds, mirroring the usual observability vocabulary:
+//   counter   — monotonically increasing count (frames, drops, bytes)
+//   gauge     — instantaneous value that can move both ways (queue depth)
+//   histogram — distribution of recorded values (service latency)
+//
+// Components keep their existing cheap stats structs; the registry samples
+// them through callbacks, so the hot path pays nothing it was not already
+// paying. Registry-owned Counter/Histogram objects exist for metrics that
+// have no pre-existing struct field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace barb::telemetry {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+// Identity of one metric: a dotted name plus a canonical label string
+// ("host=target,port=3"). Two metrics with the same name but different
+// labels are distinct series.
+struct MetricId {
+  std::string name;
+  std::string labels;
+
+  bool operator==(const MetricId&) const = default;
+  bool operator<(const MetricId& o) const {
+    if (name != o.name) return name < o.name;
+    return labels < o.labels;
+  }
+};
+
+// Registry-owned monotonic counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Callback sampling the current value of a metric owned elsewhere. Sampled
+// on probe ticks and exports only — never on the packet path.
+using Sampler = std::function<double()>;
+
+// Joins two canonical label fragments, tolerating empty sides.
+inline std::string join_labels(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return a + "," + b;
+}
+
+}  // namespace barb::telemetry

@@ -1,0 +1,65 @@
+// TimeSeriesProbe: samples every registered metric on a fixed sim-clock
+// interval, producing the time-series half of a bench artifact.
+//
+// Determinism contract: sampling runs through the scheduler at exact
+// integer-nanosecond instants and iterates the registry in sorted order, so
+// two runs of the same seeded simulation produce byte-identical recordings.
+// Metrics registered after the probe has started join the recording with
+// zero-padded history so every series stays aligned with `timestamps_s`.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "telemetry/metric.h"
+#include "telemetry/registry.h"
+
+namespace barb::telemetry {
+
+struct ProbeSeries {
+  MetricId id;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<double> values;  // aligned with ProbeRecording::timestamps_s
+};
+
+struct ProbeRecording {
+  double interval_s = 0;
+  std::vector<double> timestamps_s;
+  std::vector<ProbeSeries> series;
+
+  const ProbeSeries* find(const std::string& name, const std::string& labels = "") const;
+};
+
+class TimeSeriesProbe {
+ public:
+  TimeSeriesProbe(sim::Simulation& sim, MetricRegistry& registry,
+                  sim::Duration interval);
+  ~TimeSeriesProbe() { stop(); }
+
+  TimeSeriesProbe(const TimeSeriesProbe&) = delete;
+  TimeSeriesProbe& operator=(const TimeSeriesProbe&) = delete;
+
+  // Takes the first sample immediately, then one every interval until stop().
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  sim::Duration interval() const { return interval_; }
+  const ProbeRecording& recording() const { return recording_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  MetricRegistry& registry_;
+  sim::Duration interval_;
+  bool running_ = false;
+  sim::EventHandle next_;
+  ProbeRecording recording_;
+  std::map<MetricId, std::size_t> series_index_;
+};
+
+}  // namespace barb::telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/registry.h"
+
+#include "util/assert.h"
+
+namespace barb::telemetry {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+double MetricRegistry::Entry::sample() const {
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (owned_counter) return static_cast<double>(owned_counter->value());
+      return sampler ? sampler() : 0.0;
+    case MetricKind::kGauge:
+      return sampler ? sampler() : 0.0;
+    case MetricKind::kHistogram:
+      return histogram ? static_cast<double>(histogram->count()) : 0.0;
+  }
+  return 0.0;
+}
+
+MetricRegistry::Entry& MetricRegistry::get_or_create(const std::string& name,
+                                                     const std::string& labels,
+                                                     MetricKind kind) {
+  MetricId id{name, labels};
+  auto [it, inserted] = entries_.try_emplace(id);
+  Entry& e = it->second;
+  if (inserted) {
+    e.id = std::move(id);
+    e.kind = kind;
+  } else {
+    BARB_ASSERT_MSG(e.kind == kind, "metric re-registered with a different kind");
+  }
+  return e;
+}
+
+Counter& MetricRegistry::counter(const std::string& name, const std::string& labels) {
+  Entry& e = get_or_create(name, labels, MetricKind::kCounter);
+  if (!e.owned_counter) {
+    BARB_ASSERT_MSG(!e.sampler, "metric already registered as a sampled counter");
+    e.owned_counter = std::make_unique<Counter>();
+  }
+  return *e.owned_counter;
+}
+
+void MetricRegistry::counter_fn(const std::string& name, const std::string& labels,
+                                Sampler fn) {
+  Entry& e = get_or_create(name, labels, MetricKind::kCounter);
+  BARB_ASSERT_MSG(!e.owned_counter, "metric already registered as an owned counter");
+  e.sampler = std::move(fn);
+}
+
+void MetricRegistry::gauge(const std::string& name, const std::string& labels,
+                           Sampler fn) {
+  Entry& e = get_or_create(name, labels, MetricKind::kGauge);
+  e.sampler = std::move(fn);
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name, const std::string& labels) {
+  Entry& e = get_or_create(name, labels, MetricKind::kHistogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+const MetricRegistry::Entry* MetricRegistry::find(const std::string& name,
+                                                  const std::string& labels) const {
+  auto it = entries_.find(MetricId{name, labels});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+double MetricRegistry::value(const std::string& name, const std::string& labels) const {
+  const Entry* e = find(name, labels);
+  return e == nullptr ? 0.0 : e->sample();
+}
+
+}  // namespace barb::telemetry

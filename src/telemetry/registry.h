@@ -1,0 +1,75 @@
+// MetricRegistry: the one place all simulated components hang their
+// observables, keyed by (name, labels).
+//
+// Design rules:
+//  * Registration is cheap and idempotent: asking for an existing
+//    counter/histogram returns the same object; re-registering a sampler
+//    replaces it.
+//  * Iteration order is deterministic (sorted by name, then labels) — the
+//    probe and the JSON exporter depend on this for byte-identical output
+//    across same-seed runs.
+//  * Lifetime: samplers capture pointers into live components. Declare the
+//    registry BEFORE the components it observes (so it is destroyed after
+//    them nowhere matters — it must simply not be *sampled* after a
+//    component it references has died).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "telemetry/histogram.h"
+#include "telemetry/metric.h"
+
+namespace barb::telemetry {
+
+class MetricRegistry {
+ public:
+  struct Entry {
+    MetricId id;
+    MetricKind kind = MetricKind::kGauge;
+    std::unique_ptr<Counter> owned_counter;  // kCounter, registry-owned
+    Sampler sampler;                         // kCounter (sampled) or kGauge
+    std::unique_ptr<Histogram> histogram;    // kHistogram
+
+    // Current scalar value: counter value, gauge sample, histogram count.
+    double sample() const;
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Registry-owned monotonic counter (created on first use).
+  Counter& counter(const std::string& name, const std::string& labels = "");
+
+  // Counter whose value lives in an existing stats struct; `fn` samples it.
+  void counter_fn(const std::string& name, const std::string& labels, Sampler fn);
+
+  // Instantaneous gauge sampled through `fn`.
+  void gauge(const std::string& name, const std::string& labels, Sampler fn);
+
+  // Registry-owned histogram (created on first use).
+  Histogram& histogram(const std::string& name, const std::string& labels = "");
+
+  const Entry* find(const std::string& name, const std::string& labels = "") const;
+  // Scalar value of a registered metric; 0 if absent.
+  double value(const std::string& name, const std::string& labels = "") const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  // Deterministic (sorted) iteration over all entries.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, entry] : entries_) fn(entry);
+  }
+
+ private:
+  Entry& get_or_create(const std::string& name, const std::string& labels,
+                       MetricKind kind);
+
+  std::map<MetricId, Entry> entries_;
+};
+
+}  // namespace barb::telemetry

@@ -1,0 +1,47 @@
+// Sim-time latency timers feeding telemetry histograms.
+//
+// ScopedTimer measures a synchronous span (RAII); LatencySpan measures an
+// event-driven span that starts in one callback and ends in another (queue
+// wait, request round-trip). Both record integer nanoseconds, so recorded
+// distributions are deterministic for seeded runs.
+#pragma once
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+#include "telemetry/histogram.h"
+
+namespace barb::telemetry {
+
+class ScopedTimer {
+ public:
+  ScopedTimer(sim::Simulation& sim, Histogram& hist)
+      : sim_(sim), hist_(hist), start_(sim.now()) {}
+  ~ScopedTimer() {
+    hist_.record(static_cast<std::uint64_t>((sim_.now() - start_).ns()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  sim::Simulation& sim_;
+  Histogram& hist_;
+  sim::TimePoint start_;
+};
+
+// Manual start/finish pair for spans that cross scheduler callbacks.
+class LatencySpan {
+ public:
+  explicit LatencySpan(sim::TimePoint start) : start_(start) {}
+
+  sim::TimePoint start() const { return start_; }
+
+  void finish(sim::TimePoint now, Histogram& hist) const {
+    hist.record(static_cast<std::uint64_t>((now - start_).ns()));
+  }
+
+ private:
+  sim::TimePoint start_;
+};
+
+}  // namespace barb::telemetry

@@ -1,0 +1,157 @@
+// Log-linear histogram: bucket indexing invariants and quantile accuracy
+// against distributions with known quantiles.
+#include "telemetry/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace barb::telemetry {
+namespace {
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::index_of(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lower(static_cast<int>(v)), v);
+    EXPECT_EQ(Histogram::bucket_upper(static_cast<int>(v)), v + 1);
+  }
+}
+
+TEST(Histogram, BucketBoundsContainTheirValues) {
+  // Every recorded value must land in a bucket whose [lower, upper) range
+  // contains it, across the whole uint64 span.
+  for (std::uint64_t v :
+       {0ull, 1ull, 7ull, 8ull, 9ull, 15ull, 16ull, 100ull, 1000ull, 4095ull,
+        4096ull, 123456789ull, (1ull << 40) + 12345, ~0ull >> 1, ~0ull}) {
+    const int idx = Histogram::index_of(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LE(Histogram::bucket_lower(idx), v) << v;
+    // bucket_upper overflows to 0 only for the very last bucket at 2^63.
+    if (idx + 1 < Histogram::kNumBuckets) {
+      EXPECT_GT(Histogram::bucket_upper(idx), v) << v;
+    }
+  }
+}
+
+TEST(Histogram, BucketIndexIsMonotonic) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 100000; v += 7) {
+    const int idx = Histogram::index_of(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, RelativeBucketErrorIsBounded) {
+  // Sub-bucketing guarantees upper/lower <= 1 + 1/8 for values >= 8.
+  for (std::uint64_t v = 8; v < (1ull << 30); v = v * 3 + 1) {
+    const int idx = Histogram::index_of(v);
+    const double lo = static_cast<double>(Histogram::bucket_lower(idx));
+    const double hi = static_cast<double>(Histogram::bucket_upper(idx));
+    EXPECT_LE(hi / lo, 1.0 + 1.0 / 8.0 + 1e-12) << v;
+  }
+}
+
+TEST(Histogram, CountSumMeanMinMax) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 90.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 60u);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp) {
+  // 1..10000 recorded once each: q-quantile is ~q*10000, and the log-linear
+  // buckets bound the error at 12.5% plus in-bucket interpolation.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const double exact = q * 10000.0;
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est, exact, exact * 0.125 + 1.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);      // clamped to observed min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10000.0);  // clamped to observed max
+}
+
+TEST(Histogram, QuantilesOfTwoPointDistribution) {
+  // 90 samples at 100 and 10 at 1000000: p50 must sit in the low bucket and
+  // p99 in the high one — a shape a mean alone cannot see.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000000);
+  EXPECT_NEAR(h.quantile(0.50), 100.0, 100.0 * 0.125);
+  EXPECT_NEAR(h.quantile(0.99), 1000000.0, 1000000.0 * 0.125);
+}
+
+TEST(Histogram, QuantilesOfGeometricSamples) {
+  // Deterministic pseudo-random exponential-ish samples via the sim RNG;
+  // quantile estimates must respect ordering and stay within bucket error
+  // of the empirical (sorted) quantiles.
+  sim::Random rng(7);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = 1 + static_cast<std::uint64_t>(rng.exponential(5000.0));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = static_cast<double>(
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))]);
+    EXPECT_NEAR(h.quantile(q), exact, exact * 0.13 + 1.0) << "q=" << q;
+  }
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+}
+
+TEST(Histogram, RecordDoubleClampsNegatives) {
+  Histogram h;
+  h.record_double(-5.0);
+  h.record_double(2.6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);  // 2.6 rounds to nearest
+}
+
+TEST(Histogram, EmptyAndClear) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(123);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ForEachBucketVisitsAscendingAndSumsToCount) {
+  Histogram h;
+  for (std::uint64_t v : {1ull, 5ull, 100ull, 100ull, 50000ull}) h.record(v);
+  std::uint64_t total = 0;
+  std::uint64_t prev_lower = 0;
+  bool first = true;
+  h.for_each_bucket([&](std::uint64_t lo, std::uint64_t hi, std::uint64_t c) {
+    EXPECT_LT(lo, hi);
+    if (!first) {
+      EXPECT_GT(lo, prev_lower);
+    }
+    first = false;
+    prev_lower = lo;
+    total += c;
+  });
+  EXPECT_EQ(total, h.count());
+}
+
+}  // namespace
+}  // namespace barb::telemetry

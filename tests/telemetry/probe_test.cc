@@ -1,0 +1,124 @@
+// TimeSeriesProbe: sim-clock sampling cadence, alignment, late-registration
+// padding, and the JSON exporters' formatting rules.
+#include "telemetry/probe.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "telemetry/json.h"
+#include "telemetry/registry.h"
+
+namespace barb::telemetry {
+namespace {
+
+using sim::Duration;
+
+TEST(TimeSeriesProbe, SamplesOnTheSimClock) {
+  MetricRegistry reg;
+  sim::Simulation sim;
+  Counter& frames = reg.counter("link.tx_frames");
+
+  // Bump the counter at 5, 15, ..., 95 ms — strictly between sample ticks so
+  // each 10 ms sample sees exactly one more increment than the previous.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration::milliseconds(5 + 10 * i), [&frames] { frames.inc(); });
+  }
+
+  TimeSeriesProbe probe(sim, reg, Duration::milliseconds(10));
+  probe.start();
+  sim.run_for(Duration::milliseconds(100));
+  probe.stop();
+
+  const ProbeRecording& rec = probe.recording();
+  EXPECT_DOUBLE_EQ(rec.interval_s, 0.010);
+  // Immediate sample at t=0 plus one per 10 ms through t=100 ms.
+  ASSERT_EQ(rec.timestamps_s.size(), 11u);
+  EXPECT_DOUBLE_EQ(rec.timestamps_s.front(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.timestamps_s.back(), 0.100);
+
+  const ProbeSeries* s = rec.find("link.tx_frames");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->values.size(), rec.timestamps_s.size());
+  for (std::size_t i = 0; i < s->values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s->values[i], static_cast<double>(i)) << "sample " << i;
+  }
+}
+
+TEST(TimeSeriesProbe, LateRegisteredMetricIsZeroPadded) {
+  MetricRegistry reg;
+  sim::Simulation sim;
+  reg.counter("early.counter").inc();
+
+  TimeSeriesProbe probe(sim, reg, Duration::milliseconds(10));
+  probe.start();
+  sim.run_for(Duration::milliseconds(25));
+  // Register mid-recording: three samples (0, 10, 20 ms) already exist.
+  reg.gauge("late.gauge", "", [] { return 4.0; });
+  sim.run_for(Duration::milliseconds(25));
+  probe.stop();
+
+  const ProbeRecording& rec = probe.recording();
+  ASSERT_EQ(rec.timestamps_s.size(), 6u);  // 0,10,20,30,40,50 ms
+  const ProbeSeries* late = rec.find("late.gauge");
+  ASSERT_NE(late, nullptr);
+  ASSERT_EQ(late->values.size(), 6u);
+  EXPECT_DOUBLE_EQ(late->values[0], 0.0);
+  EXPECT_DOUBLE_EQ(late->values[2], 0.0);
+  EXPECT_DOUBLE_EQ(late->values[3], 4.0);
+  EXPECT_DOUBLE_EQ(late->values[5], 4.0);
+}
+
+TEST(TimeSeriesProbe, StopHaltsSampling) {
+  MetricRegistry reg;
+  sim::Simulation sim;
+  reg.counter("c");
+  TimeSeriesProbe probe(sim, reg, Duration::milliseconds(10));
+  probe.start();
+  sim.run_for(Duration::milliseconds(20));
+  probe.stop();
+  EXPECT_FALSE(probe.running());
+  const std::size_t n = probe.recording().timestamps_s.size();
+  sim.run_for(Duration::milliseconds(50));
+  EXPECT_EQ(probe.recording().timestamps_s.size(), n);
+}
+
+TEST(JsonFormat, DoubleFormattingIsStable) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1e20), "1e+20");  // too big for integral printing
+  EXPECT_EQ(format_double(std::nan("")), "null");
+}
+
+TEST(JsonFormat, RegistrySnapshotIsSortedAndEscaped) {
+  MetricRegistry reg;
+  reg.counter("b.metric").inc(2);
+  reg.gauge("a.metric", "k=\"v\"", [] { return 1.5; });
+  const std::string json = registry_to_json(reg);
+  // Sorted: a.metric before b.metric; quotes in labels escaped.
+  const auto a_pos = json.find("a.metric");
+  const auto b_pos = json.find("b.metric");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+  EXPECT_NE(json.find("k=\\\"v\\\""), std::string::npos);
+}
+
+TEST(JsonFormat, RecordingRoundTripShape) {
+  MetricRegistry reg;
+  sim::Simulation sim;
+  reg.counter("x").inc();
+  TimeSeriesProbe probe(sim, reg, Duration::milliseconds(10));
+  probe.start();
+  sim.run_for(Duration::milliseconds(20));
+  probe.stop();
+  const std::string json = recording_to_json(probe.recording());
+  EXPECT_NE(json.find("\"interval_s\":0.01"), std::string::npos);
+  EXPECT_NE(json.find("\"t\":[0,0.01,0.02]"), std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\":[1,1,1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace barb::telemetry

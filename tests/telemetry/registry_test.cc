@@ -1,0 +1,88 @@
+// MetricRegistry: registration, lookup, idempotence, and the deterministic
+// (sorted) iteration order the exporters rely on.
+#include "telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace barb::telemetry {
+namespace {
+
+TEST(MetricRegistry, OwnedCounterIsIdempotent) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("fw.drops", "host=target");
+  a.inc();
+  a.inc(2);
+  Counter& b = reg.counter("fw.drops", "host=target");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, SameNameDifferentLabelsAreDistinct) {
+  MetricRegistry reg;
+  reg.counter("link.tx", "link=client").inc(5);
+  reg.counter("link.tx", "link=target").inc(7);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.value("link.tx", "link=client"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("link.tx", "link=target"), 7.0);
+}
+
+TEST(MetricRegistry, SampledCounterReadsThroughCallback) {
+  MetricRegistry reg;
+  std::uint64_t backing = 0;
+  reg.counter_fn("tcp.retransmissions", "",
+                 [&backing] { return static_cast<double>(backing); });
+  EXPECT_DOUBLE_EQ(reg.value("tcp.retransmissions"), 0.0);
+  backing = 42;
+  EXPECT_DOUBLE_EQ(reg.value("tcp.retransmissions"), 42.0);
+  const auto* entry = reg.find("tcp.retransmissions");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kCounter);
+}
+
+TEST(MetricRegistry, GaugeSamplerIsReplaceable) {
+  MetricRegistry reg;
+  reg.gauge("fw.queue_depth", "", [] { return 3.0; });
+  EXPECT_DOUBLE_EQ(reg.value("fw.queue_depth"), 3.0);
+  reg.gauge("fw.queue_depth", "", [] { return 9.0; });
+  EXPECT_DOUBLE_EQ(reg.value("fw.queue_depth"), 9.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, HistogramEntrySamplesAsCount) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("fw.service_time_ns");
+  h.record(100);
+  h.record(200);
+  EXPECT_DOUBLE_EQ(reg.value("fw.service_time_ns"), 2.0);
+  Histogram& again = reg.histogram("fw.service_time_ns");
+  EXPECT_EQ(&h, &again);
+}
+
+TEST(MetricRegistry, FindMissingReturnsNullAndValueZero) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.find("no.such.metric"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.value("no.such.metric"), 0.0);
+}
+
+TEST(MetricRegistry, IterationIsSortedByNameThenLabels) {
+  MetricRegistry reg;
+  reg.counter("zeta.last");
+  reg.counter("alpha.first", "b=2");
+  reg.counter("alpha.first", "a=1");
+  reg.gauge("middle.gauge", "", [] { return 0.0; });
+
+  std::vector<std::string> order;
+  reg.for_each([&](const MetricRegistry::Entry& e) {
+    order.push_back(e.id.name + "|" + e.id.labels);
+  });
+  const std::vector<std::string> expected = {
+      "alpha.first|a=1", "alpha.first|b=2", "middle.gauge|", "zeta.last|"};
+  EXPECT_EQ(order, expected);
+}
+
+}  // namespace
+}  // namespace barb::telemetry
