@@ -2,6 +2,7 @@
 """Validate a BENCH_*.json bench artifact against the barb-bench-v1 schema.
 
 Usage: check_bench_json.py FILE [FILE ...] [--require-timeline]
+                           [--require-series=NAME ...]
 
 Checks, per file:
   * top level is an object with schema == "barb-bench-v1", a non-empty
@@ -11,7 +12,9 @@ Checks, per file:
   * every timeline has a "scenario" string and a "recording" whose "t" and
     per-series "values" arrays are numeric and equal-length, with "kind" in
     {counter, gauge, histogram};
-  * with --require-timeline, at least one timeline with at least one sample.
+  * with --require-timeline, at least one timeline with at least one sample;
+  * with --require-series=NAME (repeatable), NAME must appear either as a
+    point series or as a recorded timeline metric in every file.
 
 Exit status 0 if every file passes, 1 otherwise (details on stderr).
 """
@@ -92,7 +95,20 @@ def check_timelines(path, timelines):
     return True
 
 
-def check_file(path, require_timeline):
+def check_series(path, doc, required):
+    """Every required name must be a point series or a timeline metric."""
+    present = {p["series"] for p in doc["points"]}
+    for tl in doc["timelines"]:
+        present.update(s["metric"] for s in tl["recording"]["series"])
+    ok = True
+    for name in required:
+        if name not in present:
+            ok = fail(path, f'required series {name!r} not found '
+                            f"(have: {', '.join(sorted(present)) or 'none'})")
+    return ok
+
+
+def check_file(path, require_timeline, require_series=()):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -116,6 +132,8 @@ def check_file(path, require_timeline):
             return fail(path, "has no timelines (--require-timeline)")
         if all(not tl["recording"]["t"] for tl in timelines):
             return fail(path, "timelines contain no samples (--require-timeline)")
+    if require_series and not check_series(path, doc, require_series):
+        return False
     n_series = sum(len(tl["recording"]["series"]) for tl in doc["timelines"])
     print(
         f"{path}: ok ({len(doc['points'])} points, {len(doc['timelines'])} "
@@ -126,11 +144,22 @@ def check_file(path, require_timeline):
 
 def main(argv):
     require_timeline = "--require-timeline" in argv
+    require_series = [
+        a.split("=", 1)[1] for a in argv if a.startswith("--require-series=")
+    ]
+    unknown = [
+        a for a in argv
+        if a.startswith("--") and a != "--require-timeline"
+        and not a.startswith("--require-series=")
+    ]
+    if unknown:
+        print(f"unknown option(s): {' '.join(unknown)}", file=sys.stderr)
+        return 1
     files = [a for a in argv if not a.startswith("--")]
     if not files:
         print(__doc__, file=sys.stderr)
         return 1
-    ok = all([check_file(f, require_timeline) for f in files])
+    ok = all([check_file(f, require_timeline, require_series) for f in files])
     return 0 if ok else 1
 
 

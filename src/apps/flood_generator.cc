@@ -33,6 +33,7 @@ void FloodGenerator::send_one() {
 
 net::Packet FloodGenerator::craft_packet() {
   auto& rng = attacker_.simulation().rng();
+  auto& pool = net::BufferPool::instance();
 
   net::IpEndpoints ep;
   ep.dst_ip = config_.target;
@@ -52,7 +53,10 @@ net::Packet FloodGenerator::craft_packet() {
     ep.src_ip = attacker_.ip();
   }
 
-  std::vector<std::uint8_t> frame;
+  // Frames are written straight into recycled pool buffers: at steady state
+  // a multi-million-frame flood performs no per-frame heap allocation in the
+  // generator (the scratch payload below is reused across calls).
+  net::FrameBufferRef frame;
   switch (config_.type) {
     case FloodType::kUdp: {
       // Pad the payload so the final frame hits the configured size.
@@ -60,8 +64,9 @@ net::Packet FloodGenerator::craft_packet() {
                                        net::Ipv4Header::kSize + net::UdpHeader::kSize;
       const std::size_t payload_len =
           config_.frame_size > kHeaders ? config_.frame_size - kHeaders : 0;
-      std::vector<std::uint8_t> payload(payload_len, 0x42);
-      frame = net::build_udp_frame(ep, src_port, config_.target_port, payload, ip_id_++);
+      payload_scratch_.assign(payload_len, 0x42);
+      frame = net::build_udp_frame_pooled(pool, ep, src_port, config_.target_port,
+                                          payload_scratch_, ip_id_++);
       break;
     }
     case FloodType::kTcpSyn: {
@@ -71,7 +76,7 @@ net::Packet FloodGenerator::craft_packet() {
       h.seq = static_cast<std::uint32_t>(rng.next_u64());
       h.flags = net::TcpFlags::kSyn;
       h.window = 65535;
-      frame = net::build_tcp_frame(ep, h, {}, ip_id_++);
+      frame = net::build_tcp_frame_pooled(pool, ep, h, {}, ip_id_++);
       break;
     }
     case FloodType::kTcpData: {
@@ -86,8 +91,8 @@ net::Packet FloodGenerator::craft_packet() {
                                        net::Ipv4Header::kSize + net::TcpHeader::kMinSize;
       const std::size_t payload_len =
           config_.frame_size > kHeaders ? config_.frame_size - kHeaders : 0;
-      std::vector<std::uint8_t> payload(payload_len, 0x42);
-      frame = net::build_tcp_frame(ep, h, payload, ip_id_++);
+      payload_scratch_.assign(payload_len, 0x42);
+      frame = net::build_tcp_frame_pooled(pool, ep, h, payload_scratch_, ip_id_++);
       break;
     }
   }

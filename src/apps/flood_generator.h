@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "net/frame_buffer.h"
 #include "net/packet_builder.h"
 #include "stack/host.h"
 
@@ -59,6 +61,9 @@ class FloodGenerator {
   std::uint64_t packets_sent_ = 0;
   sim::EventHandle timer_;
   std::uint16_t ip_id_ = 0;
+  // Reused across craft_packet() calls so per-frame padding costs no
+  // allocation once it has grown to the configured frame size.
+  std::vector<std::uint8_t> payload_scratch_;
 };
 
 }  // namespace barb::apps

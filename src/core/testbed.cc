@@ -1,6 +1,7 @@
 #include "core/testbed.h"
 
 #include "firewall/policy.h"
+#include "net/frame_buffer.h"
 #include "net/vpg_header.h"
 #include "util/assert.h"
 #include "util/logging.h"
@@ -245,6 +246,36 @@ void Testbed::register_metrics(telemetry::MetricRegistry& registry) {
   if (target_fw_ != nullptr) target_fw_->register_metrics(registry, "host=target");
   if (client_fw_ != nullptr) client_fw_->register_metrics(registry, "host=client");
   if (iptables_) iptables_->register_metrics(registry, "host=target");
+}
+
+void Testbed::register_pool_metrics(telemetry::MetricRegistry& registry) {
+  // Frame buffer pool. The pool is process-global (src/net must not depend
+  // on telemetry), so the testbed bridges its plain stats into the registry.
+  auto& pool = net::BufferPool::instance();
+  auto pool_counter = [&](const char* name,
+                          std::uint64_t net::BufferPoolStats::* field) {
+    registry.counter_fn(name, "", [&pool, field] {
+      return static_cast<double>(pool.stats().*field);
+    });
+  };
+  pool_counter("pool.acquisitions", &net::BufferPoolStats::acquisitions);
+  pool_counter("pool.hits", &net::BufferPoolStats::pool_hits);
+  pool_counter("pool.misses", &net::BufferPoolStats::pool_misses);
+  pool_counter("pool.heap_fallbacks", &net::BufferPoolStats::heap_fallbacks);
+  pool_counter("pool.adopted", &net::BufferPoolStats::adopted);
+  pool_counter("pool.recycled", &net::BufferPoolStats::recycled);
+  pool_counter("pool.heap_frees", &net::BufferPoolStats::heap_frees);
+  pool_counter("pool.parses", &net::BufferPoolStats::parses);
+  pool_counter("pool.parse_hits", &net::BufferPoolStats::parse_hits);
+  registry.counter_fn("pool.allocations", "", [&pool] {
+    return static_cast<double>(pool.stats().allocations());
+  });
+  registry.gauge("pool.live_buffers", "", [&pool] {
+    return static_cast<double>(pool.live_buffers());
+  });
+  registry.gauge("pool.free_buffers", "", [&pool] {
+    return static_cast<double>(pool.free_buffers());
+  });
 }
 
 void Testbed::settle() {

@@ -55,8 +55,9 @@ void FirewallNic::enqueue(Job job) {
   // over-rate traffic before it can occupy the buffer or the rule walk.
   if (job.inbound && guard_.config().enabled) {
     pending_overhead_ += guard_.config().screen_cost;
-    auto view = net::FrameView::parse(job.pkt.bytes());
-    if (view && !is_management_frame(*view) && !guard_.admit(*view, sim_.now())) {
+    const net::FrameView* view = job.pkt.view();
+    if (view != nullptr && !is_management_frame(*view) &&
+        !guard_.admit(*view, sim_.now())) {
       ++stats_.rx_dropped;
       return;
     }
@@ -87,12 +88,14 @@ void FirewallNic::start_next() {
       profile_.fixed + pending_overhead_ +
       profile_.per_byte * static_cast<std::int64_t>(job.pkt.size());
   pending_overhead_ = sim::Duration::zero();
-  auto view = net::FrameView::parse(job.pkt.bytes());
-  job.parsed = view.has_value();
-  job.management = view && is_management_frame(*view);
+  // Cached on the frame buffer: when FloodGuard already screened the frame
+  // (or an upstream layer looked at it), this re-reads that parse.
+  const net::FrameView* view = job.pkt.view();
+  job.parsed = view != nullptr;
+  job.management = view != nullptr && is_management_frame(*view);
   job.action = RuleAction::kAllow;
-  if (view && !job.management) {
-    const auto tuple = view->five_tuple();
+  if (view != nullptr && !job.management) {
+    const auto& tuple = job.pkt.five_tuple();
     bool state_hit = false;
     if (profile_.stateful && tuple && !view->vpg) {
       service += profile_.state_lookup;
@@ -173,7 +176,7 @@ void FirewallNic::finish(Job job) {
         return;
       case RuleAction::kVpg:
         // decapsulate() rejects non-VPG frames, bad auth, and replays.
-        if (vpgs_.decapsulate(job.pkt.data)) {
+        if (vpgs_.decapsulate(job.pkt)) {
           ++fwstats_.rx_allowed;
           deliver_to_host(std::move(job.pkt));
         } else {
@@ -198,7 +201,7 @@ void FirewallNic::finish(Job job) {
       send_to_wire(std::move(job.pkt));
       return;
     case RuleAction::kVpg:
-      if (vpgs_.encapsulate(job.vpg_id, job.pkt.data)) {
+      if (vpgs_.encapsulate(job.vpg_id, job.pkt)) {
         ++fwstats_.tx_allowed;
         send_to_wire(std::move(job.pkt));
       } else {

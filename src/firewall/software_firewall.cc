@@ -25,10 +25,11 @@ void SoftwareFirewall::start_next() {
 
   const Job& job = queue_.front();
   sim::Duration service = config_.per_packet;
-  auto view = net::FrameView::parse(job.pkt.bytes());
+  // Cached parse shared with the rest of the frame's path through the host.
+  const net::FrameView* view = job.pkt.view();
   MatchResult mr;
   mr.action = RuleAction::kAllow;
-  if (view) {
+  if (view != nullptr) {
     mr = rules_.match(*view);
     service = config_.per_packet +
               config_.per_rule * static_cast<std::int64_t>(mr.rules_traversed);

@@ -52,7 +52,10 @@ bool VpgTable::replay_check_and_update(ReplayState& state, std::uint64_t seq) {
   return true;
 }
 
-bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& frame) {
+bool VpgTable::encapsulate_into(std::uint32_t vpg_id,
+                                std::span<const std::uint8_t> frame,
+                                const net::FrameView& view,
+                                std::vector<std::uint8_t>& out) {
   auto it = groups_.find(vpg_id);
   if (it == groups_.end()) {
     ++stats_.unknown_vpg;
@@ -60,10 +63,9 @@ bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& fram
   }
   Group& g = it->second;
 
-  auto view = net::FrameView::parse(frame);
-  if (!view || !view->ip) return false;
-  const auto& ip = *view->ip;
-  const auto inner = view->l3_payload;
+  if (!view.ip) return false;
+  const auto& ip = *view.ip;
+  const auto inner = view.l3_payload;
   const std::size_t new_payload =
       net::VpgHeader::kSize + inner.size() + crypto::Aead::kTagSize;
   if (net::Ipv4Header::kSize + new_payload > net::kEthernetMtu) {
@@ -84,10 +86,9 @@ bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& fram
   const auto sealed =
       crypto::Aead::seal(g.key, nonce_for(ip.src.value(), vh.seq), aad, inner);
 
-  std::vector<std::uint8_t> out;
   out.reserve(net::EthernetHeader::kSize + net::Ipv4Header::kSize + new_payload);
   ByteWriter w(out);
-  w.bytes(std::span(frame).first(net::EthernetHeader::kSize));  // Ethernet unchanged
+  w.bytes(frame.first(net::EthernetHeader::kSize));  // Ethernet unchanged
 
   net::Ipv4Header new_ip = ip;
   new_ip.protocol = static_cast<std::uint8_t>(net::IpProtocol::kVpg);
@@ -99,44 +100,43 @@ bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& fram
     w.zeros(net::kEthernetMinFrameNoFcs - out.size());
   }
 
-  frame = std::move(out);
   ++stats_.encapsulated;
   return true;
 }
 
-bool VpgTable::decapsulate(std::vector<std::uint8_t>& frame) {
-  auto view = net::FrameView::parse(frame);
-  if (!view || !view->ip || !view->vpg) return false;
-  auto it = groups_.find(view->vpg->vpg_id);
+bool VpgTable::decapsulate_into(std::span<const std::uint8_t> frame,
+                                const net::FrameView& view,
+                                std::vector<std::uint8_t>& out) {
+  if (!view.ip || !view.vpg) return false;
+  auto it = groups_.find(view.vpg->vpg_id);
   if (it == groups_.end()) {
     ++stats_.unknown_vpg;
     return false;
   }
   Group& g = it->second;
-  const net::VpgHeader& vh = *view->vpg;
+  const net::VpgHeader& vh = *view.vpg;
 
   std::vector<std::uint8_t> aad;
   ByteWriter aw(aad);
   vh.serialize(aw);
 
-  auto opened = crypto::Aead::open(g.key, nonce_for(view->ip->src.value(), vh.seq),
-                                   aad, view->l4_payload);
+  auto opened = crypto::Aead::open(g.key, nonce_for(view.ip->src.value(), vh.seq),
+                                   aad, view.l4_payload);
   if (!opened) {
     ++stats_.auth_failures;
     return false;
   }
   // Replay protection only after authentication (unauthenticated sequence
   // numbers must not be able to poison the window), per sender.
-  if (!replay_check_and_update(g.rx[view->ip->src.value()], vh.seq)) {
+  if (!replay_check_and_update(g.rx[view.ip->src.value()], vh.seq)) {
     ++stats_.replays_dropped;
     return false;
   }
 
-  std::vector<std::uint8_t> out;
   out.reserve(net::EthernetHeader::kSize + net::Ipv4Header::kSize + opened->size());
   ByteWriter w(out);
-  w.bytes(std::span(frame).first(net::EthernetHeader::kSize));
-  net::Ipv4Header new_ip = *view->ip;
+  w.bytes(frame.first(net::EthernetHeader::kSize));
+  net::Ipv4Header new_ip = *view.ip;
   new_ip.protocol = vh.orig_protocol;
   new_ip.total_length =
       static_cast<std::uint16_t>(net::Ipv4Header::kSize + opened->size());
@@ -146,8 +146,48 @@ bool VpgTable::decapsulate(std::vector<std::uint8_t>& frame) {
     w.zeros(net::kEthernetMinFrameNoFcs - out.size());
   }
 
-  frame = std::move(out);
   ++stats_.decapsulated;
+  return true;
+}
+
+bool VpgTable::encapsulate(std::uint32_t vpg_id, std::vector<std::uint8_t>& frame) {
+  auto view = net::FrameView::parse(frame);
+  if (!view) return false;
+  std::vector<std::uint8_t> out;
+  if (!encapsulate_into(vpg_id, frame, *view, out)) return false;
+  frame = std::move(out);
+  return true;
+}
+
+bool VpgTable::decapsulate(std::vector<std::uint8_t>& frame) {
+  auto view = net::FrameView::parse(frame);
+  if (!view) return false;
+  std::vector<std::uint8_t> out;
+  if (!decapsulate_into(frame, *view, out)) return false;
+  frame = std::move(out);
+  return true;
+}
+
+bool VpgTable::encapsulate(std::uint32_t vpg_id, net::Packet& pkt) {
+  const net::FrameView* view = pkt.view();
+  if (view == nullptr) return false;
+  // Sealed frame = original + VPG header + AEAD tag (then min-size padding).
+  auto builder = net::BufferPool::instance().build(
+      pkt.size() + net::VpgHeader::kSize + crypto::Aead::kTagSize);
+  if (!encapsulate_into(vpg_id, pkt.bytes(), *view, builder.buffer())) {
+    return false;
+  }
+  pkt.buffer = builder.seal();
+  return true;
+}
+
+bool VpgTable::decapsulate(net::Packet& pkt) {
+  const net::FrameView* view = pkt.view();
+  if (view == nullptr) return false;
+  // Plaintext is never larger than the sealed frame.
+  auto builder = net::BufferPool::instance().build(pkt.size());
+  if (!decapsulate_into(pkt.bytes(), *view, builder.buffer())) return false;
+  pkt.buffer = builder.seal();
   return true;
 }
 

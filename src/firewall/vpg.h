@@ -48,6 +48,13 @@ class VpgTable {
   // IPv4 packet. Returns false (and counts why) on failure.
   bool decapsulate(std::vector<std::uint8_t>& frame);
 
+  // Packet forms used on the NIC fast path: frame buffers are immutable, so
+  // a successful encap/decap swaps in a freshly pooled buffer (reusing the
+  // packet's cached parse for the input frame) and leaves `created`/`id`
+  // untouched. On failure the packet is unchanged.
+  bool encapsulate(std::uint32_t vpg_id, net::Packet& pkt);
+  bool decapsulate(net::Packet& pkt);
+
  private:
   struct ReplayState {
     // Highest seen + bitmap of the preceding 64 sequences.
@@ -63,6 +70,14 @@ class VpgTable {
 
   static crypto::Aead::Nonce nonce_for(std::uint32_t sender_ip, std::uint64_t seq);
   static bool replay_check_and_update(ReplayState& state, std::uint64_t seq);
+
+  // Shared cores: build the rewritten frame into `out` (must be empty).
+  // Both entry forms (vector and Packet) funnel through these so their
+  // wire bytes are identical.
+  bool encapsulate_into(std::uint32_t vpg_id, std::span<const std::uint8_t> frame,
+                        const net::FrameView& view, std::vector<std::uint8_t>& out);
+  bool decapsulate_into(std::span<const std::uint8_t> frame,
+                        const net::FrameView& view, std::vector<std::uint8_t>& out);
 
   std::unordered_map<std::uint32_t, Group> groups_;
   VpgStats stats_;

@@ -37,18 +37,18 @@ int Switch::lookup(const net::MacAddress& mac) const {
 }
 
 void Switch::handle_frame(int ingress, net::Packet pkt) {
-  // A malformed Ethernet header cannot be forwarded anywhere.
-  if (pkt.size() < net::EthernetHeader::kSize) return;
-  ByteReader r(pkt.bytes());
-  const auto eth = net::EthernetHeader::parse(r);
-  BARB_ASSERT(eth.has_value());
+  // A malformed Ethernet header cannot be forwarded anywhere. The cached
+  // parse is shared with every NIC and firewall the frame later reaches.
+  const net::FrameView* view = pkt.view();
+  if (view == nullptr) return;
+  const net::EthernetHeader& eth = view->eth;
 
   // Learn the source address on the ingress port.
-  if (!eth->src.is_multicast()) {
-    mac_table_[eth->src] = MacEntry{ingress, sim_.now()};
+  if (!eth.src.is_multicast()) {
+    mac_table_[eth.src] = MacEntry{ingress, sim_.now()};
   }
 
-  const int egress = eth->dst.is_multicast() ? -1 : lookup(eth->dst);
+  const int egress = eth.dst.is_multicast() ? -1 : lookup(eth.dst);
   if (egress == ingress) {
     // Destination lives on the ingress segment; a real switch filters this.
     ++stats_.filtered;
@@ -68,11 +68,12 @@ void Switch::handle_frame(int ingress, net::Packet pkt) {
     return;
   }
 
-  // Flood to all other ports.
+  // Flood to all other ports: each copy is a refcount bump on the shared
+  // frame buffer, never a duplication of the payload bytes.
   ++stats_.flooded;
   for (int p = 0; p < num_ports(); ++p) {
     if (p == ingress) continue;
-    deliver_after_latency(p, net::Packet{pkt.data, pkt.created, pkt.id});
+    deliver_after_latency(p, pkt);
   }
 }
 

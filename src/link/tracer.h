@@ -29,7 +29,9 @@ class FrameTap : public FrameSink {
 
   void deliver(net::Packet pkt) override {
     if (frames_.size() < max_frames_) {
-      frames_.push_back(CapturedFrame{pkt.created, pkt.data});
+      // A capture owns its bytes (like a real pcap); this is the one place
+      // on the frame path that copies intentionally.
+      frames_.push_back(CapturedFrame{pkt.created, pkt.copy_bytes()});
     }
     ++seen_;
     if (downstream_ != nullptr) downstream_->deliver(std::move(pkt));

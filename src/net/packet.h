@@ -1,4 +1,11 @@
 // The unit of transfer on the simulated network: one Ethernet frame.
+//
+// Packet is a lightweight handle: a refcounted reference to an immutable
+// pooled FrameBuffer plus per-frame bookkeeping (creation time, trace id).
+// Copying a Packet shares the underlying bytes — a switch broadcasting a
+// frame to 20 ports performs 20 refcount bumps, not 20 byte copies. Header
+// parsing is cached on the buffer, so however many layers call view() or
+// five_tuple(), the frame's headers are walked exactly once.
 #pragma once
 
 #include <cstdint>
@@ -6,25 +13,55 @@
 #include <utility>
 #include <vector>
 
+#include "net/frame_buffer.h"
 #include "sim/time.h"
 
 namespace barb::net {
 
 struct Packet {
   // L2 frame bytes, without FCS (the link model accounts for FCS, preamble,
-  // and inter-frame gap when computing wire time).
-  std::vector<std::uint8_t> data;
+  // and inter-frame gap when computing wire time). Immutable: rewriting a
+  // frame means building a new buffer.
+  FrameBufferRef buffer;
   // When the frame was created, for end-to-end latency accounting.
   sim::TimePoint created;
   // Monotonic per-simulation id for tracing.
   std::uint64_t id = 0;
 
   Packet() = default;
+  Packet(FrameBufferRef buf, sim::TimePoint at, std::uint64_t packet_id)
+      : buffer(std::move(buf)), created(at), id(packet_id) {}
+  // Compatibility constructor: wraps existing bytes zero-copy (heap-class
+  // buffer in the default pool). Hot paths build into pooled buffers via
+  // BufferPool::build / the *_pooled packet builders instead.
   Packet(std::vector<std::uint8_t> bytes, sim::TimePoint at, std::uint64_t packet_id)
-      : data(std::move(bytes)), created(at), id(packet_id) {}
+      : buffer(BufferPool::instance().adopt(std::move(bytes))),
+        created(at),
+        id(packet_id) {}
 
-  std::size_t size() const { return data.size(); }
-  std::span<const std::uint8_t> bytes() const { return data; }
+  std::size_t size() const { return buffer ? buffer->size() : 0; }
+  std::span<const std::uint8_t> bytes() const {
+    return buffer ? buffer->bytes() : std::span<const std::uint8_t>{};
+  }
+  // An owned copy of the bytes, for capture/mutation (FrameTap, tests).
+  std::vector<std::uint8_t> copy_bytes() const {
+    return buffer ? buffer->copy_bytes() : std::vector<std::uint8_t>{};
+  }
+
+  // Cached parsed headers; nullptr when the frame has no buffer or its
+  // Ethernet header is truncated. The pointer is valid while the buffer
+  // lives (i.e. while any Packet handle to it exists).
+  const FrameView* view() const {
+    if (!buffer) return nullptr;
+    const ParsedHeaders& p = buffer->parsed();
+    return p.view ? &*p.view : nullptr;
+  }
+
+  // Cached flow five-tuple; empty for non-IP or unparseable frames.
+  const std::optional<FiveTuple>& five_tuple() const {
+    static const std::optional<FiveTuple> kNone;
+    return buffer ? buffer->parsed().tuple : kNone;
+  }
 };
 
 }  // namespace barb::net

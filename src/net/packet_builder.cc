@@ -7,15 +7,16 @@
 
 namespace barb::net {
 
-std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol protocol,
-                                           std::span<const std::uint8_t> ip_payload,
-                                           std::uint16_t ip_id, std::uint8_t ttl) {
-  BARB_ASSERT_MSG(ip_payload.size() + Ipv4Header::kSize <= kEthernetMtu,
-                  "payload exceeds MTU; fragmentation is not modeled");
-  std::vector<std::uint8_t> frame;
-  frame.reserve(EthernetHeader::kSize + Ipv4Header::kSize + ip_payload.size());
-  ByteWriter w(frame);
+namespace {
 
+// Serializes Ethernet + IPv4 headers for a frame carrying `ip_payload_len`
+// bytes of IP payload. Shared by the vector and pooled builder forms so the
+// two produce byte-identical frames.
+void write_eth_ipv4(ByteWriter& w, const IpEndpoints& ep, IpProtocol protocol,
+                    std::size_t ip_payload_len, std::uint16_t ip_id,
+                    std::uint8_t ttl) {
+  BARB_ASSERT_MSG(ip_payload_len + Ipv4Header::kSize <= kEthernetMtu,
+                  "payload exceeds MTU; fragmentation is not modeled");
   EthernetHeader eth;
   eth.dst = ep.dst_mac;
   eth.src = ep.src_mac;
@@ -23,76 +24,167 @@ std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol pro
   eth.serialize(w);
 
   Ipv4Header ip;
-  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + ip_payload.size());
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + ip_payload_len);
   ip.identification = ip_id;
   ip.ttl = ttl;
   ip.protocol = static_cast<std::uint8_t>(protocol);
   ip.src = ep.src_ip;
   ip.dst = ep.dst_ip;
   ip.serialize(w);
+}
 
-  w.bytes(ip_payload);
+void pad_to_minimum(ByteWriter& w, const std::vector<std::uint8_t>& frame) {
   if (frame.size() < kEthernetMinFrameNoFcs) {
     w.zeros(kEthernetMinFrameNoFcs - frame.size());
   }
-  return frame;
 }
 
-std::vector<std::uint8_t> build_udp_frame(const IpEndpoints& ep, std::uint16_t src_port,
-                                          std::uint16_t dst_port,
-                                          std::span<const std::uint8_t> payload,
-                                          std::uint16_t ip_id) {
-  std::vector<std::uint8_t> segment;
-  segment.reserve(UdpHeader::kSize + payload.size());
-  ByteWriter w(segment);
+std::size_t padded_frame_size(std::size_t ip_payload_len) {
+  return std::max(EthernetHeader::kSize + Ipv4Header::kSize + ip_payload_len,
+                  kEthernetMinFrameNoFcs);
+}
+
+// Writes a full UDP frame into `frame` (which must be empty).
+void write_udp_frame(std::vector<std::uint8_t>& frame, const IpEndpoints& ep,
+                     std::uint16_t src_port, std::uint16_t dst_port,
+                     std::span<const std::uint8_t> payload, std::uint16_t ip_id) {
+  ByteWriter w(frame);
+  const std::size_t seg_len = UdpHeader::kSize + payload.size();
+  write_eth_ipv4(w, ep, IpProtocol::kUdp, seg_len, ip_id, Ipv4Header::kDefaultTtl);
+  const std::size_t seg_off = frame.size();
   UdpHeader udp;
   udp.src_port = src_port;
   udp.dst_port = dst_port;
-  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.length = static_cast<std::uint16_t>(seg_len);
   udp.serialize(w);
   w.bytes(payload);
-  const std::uint16_t sum =
-      transport_checksum(ep.src_ip, ep.dst_ip,
-                         static_cast<std::uint8_t>(IpProtocol::kUdp), segment);
-  segment[6] = static_cast<std::uint8_t>(sum >> 8);
-  segment[7] = static_cast<std::uint8_t>(sum);
-  return build_ipv4_frame(ep, IpProtocol::kUdp, segment, ip_id);
+  const std::uint16_t sum = transport_checksum(
+      ep.src_ip, ep.dst_ip, static_cast<std::uint8_t>(IpProtocol::kUdp),
+      std::span<const std::uint8_t>(frame).subspan(seg_off));
+  frame[seg_off + 6] = static_cast<std::uint8_t>(sum >> 8);
+  frame[seg_off + 7] = static_cast<std::uint8_t>(sum);
+  pad_to_minimum(w, frame);
 }
 
-std::vector<std::uint8_t> build_tcp_frame(const IpEndpoints& ep, TcpHeader header,
-                                          std::span<const std::uint8_t> payload,
-                                          std::uint16_t ip_id) {
-  std::vector<std::uint8_t> segment;
-  segment.reserve(header.size() + payload.size());
-  ByteWriter w(segment);
+void write_tcp_frame(std::vector<std::uint8_t>& frame, const IpEndpoints& ep,
+                     TcpHeader header, std::span<const std::uint8_t> payload,
+                     std::uint16_t ip_id) {
+  ByteWriter w(frame);
+  const std::size_t seg_len = header.size() + payload.size();
+  write_eth_ipv4(w, ep, IpProtocol::kTcp, seg_len, ip_id, Ipv4Header::kDefaultTtl);
+  const std::size_t seg_off = frame.size();
   header.checksum = 0;
   header.serialize(w);
   w.bytes(payload);
-  const std::uint16_t sum =
-      transport_checksum(ep.src_ip, ep.dst_ip,
-                         static_cast<std::uint8_t>(IpProtocol::kTcp), segment);
-  segment[16] = static_cast<std::uint8_t>(sum >> 8);
-  segment[17] = static_cast<std::uint8_t>(sum);
-  return build_ipv4_frame(ep, IpProtocol::kTcp, segment, ip_id);
+  const std::uint16_t sum = transport_checksum(
+      ep.src_ip, ep.dst_ip, static_cast<std::uint8_t>(IpProtocol::kTcp),
+      std::span<const std::uint8_t>(frame).subspan(seg_off));
+  frame[seg_off + 16] = static_cast<std::uint8_t>(sum >> 8);
+  frame[seg_off + 17] = static_cast<std::uint8_t>(sum);
+  pad_to_minimum(w, frame);
 }
 
-std::vector<std::uint8_t> build_icmp_frame(const IpEndpoints& ep, std::uint8_t type,
-                                           std::uint8_t code, std::uint32_t rest,
-                                           std::span<const std::uint8_t> payload,
-                                           std::uint16_t ip_id) {
-  std::vector<std::uint8_t> msg;
-  msg.reserve(IcmpHeader::kSize + payload.size());
-  ByteWriter w(msg);
+void write_icmp_frame(std::vector<std::uint8_t>& frame, const IpEndpoints& ep,
+                      std::uint8_t type, std::uint8_t code, std::uint32_t rest,
+                      std::span<const std::uint8_t> payload, std::uint16_t ip_id) {
+  ByteWriter w(frame);
+  const std::size_t msg_len = IcmpHeader::kSize + payload.size();
+  write_eth_ipv4(w, ep, IpProtocol::kIcmp, msg_len, ip_id, Ipv4Header::kDefaultTtl);
+  const std::size_t msg_off = frame.size();
   IcmpHeader icmp;
   icmp.type = type;
   icmp.code = code;
   icmp.rest = rest;
   icmp.serialize(w);
   w.bytes(payload);
-  const std::uint16_t sum = internet_checksum(msg);
-  msg[2] = static_cast<std::uint8_t>(sum >> 8);
-  msg[3] = static_cast<std::uint8_t>(sum);
-  return build_ipv4_frame(ep, IpProtocol::kIcmp, msg, ip_id);
+  const std::uint16_t sum = internet_checksum(
+      std::span<const std::uint8_t>(frame).subspan(msg_off));
+  frame[msg_off + 2] = static_cast<std::uint8_t>(sum >> 8);
+  frame[msg_off + 3] = static_cast<std::uint8_t>(sum);
+  pad_to_minimum(w, frame);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol protocol,
+                                           std::span<const std::uint8_t> ip_payload,
+                                           std::uint16_t ip_id, std::uint8_t ttl) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(padded_frame_size(ip_payload.size()));
+  ByteWriter w(frame);
+  write_eth_ipv4(w, ep, protocol, ip_payload.size(), ip_id, ttl);
+  w.bytes(ip_payload);
+  pad_to_minimum(w, frame);
+  return frame;
+}
+
+FrameBufferRef build_ipv4_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                       IpProtocol protocol,
+                                       std::span<const std::uint8_t> ip_payload,
+                                       std::uint16_t ip_id, std::uint8_t ttl) {
+  auto b = pool.build(padded_frame_size(ip_payload.size()));
+  ByteWriter w(b.buffer());
+  write_eth_ipv4(w, ep, protocol, ip_payload.size(), ip_id, ttl);
+  w.bytes(ip_payload);
+  pad_to_minimum(w, b.buffer());
+  return b.seal();
+}
+
+std::vector<std::uint8_t> build_udp_frame(const IpEndpoints& ep, std::uint16_t src_port,
+                                          std::uint16_t dst_port,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(padded_frame_size(UdpHeader::kSize + payload.size()));
+  write_udp_frame(frame, ep, src_port, dst_port, payload, ip_id);
+  return frame;
+}
+
+FrameBufferRef build_udp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                      std::uint16_t src_port, std::uint16_t dst_port,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint16_t ip_id) {
+  auto b = pool.build(padded_frame_size(UdpHeader::kSize + payload.size()));
+  write_udp_frame(b.buffer(), ep, src_port, dst_port, payload, ip_id);
+  return b.seal();
+}
+
+std::vector<std::uint8_t> build_tcp_frame(const IpEndpoints& ep, TcpHeader header,
+                                          std::span<const std::uint8_t> payload,
+                                          std::uint16_t ip_id) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(padded_frame_size(header.size() + payload.size()));
+  write_tcp_frame(frame, ep, header, payload, ip_id);
+  return frame;
+}
+
+FrameBufferRef build_tcp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                      TcpHeader header,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint16_t ip_id) {
+  auto b = pool.build(padded_frame_size(header.size() + payload.size()));
+  write_tcp_frame(b.buffer(), ep, header, payload, ip_id);
+  return b.seal();
+}
+
+std::vector<std::uint8_t> build_icmp_frame(const IpEndpoints& ep, std::uint8_t type,
+                                           std::uint8_t code, std::uint32_t rest,
+                                           std::span<const std::uint8_t> payload,
+                                           std::uint16_t ip_id) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(padded_frame_size(IcmpHeader::kSize + payload.size()));
+  write_icmp_frame(frame, ep, type, code, rest, payload, ip_id);
+  return frame;
+}
+
+FrameBufferRef build_icmp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                       std::uint8_t type, std::uint8_t code,
+                                       std::uint32_t rest,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t ip_id) {
+  auto b = pool.build(padded_frame_size(IcmpHeader::kSize + payload.size()));
+  write_icmp_frame(b.buffer(), ep, type, code, rest, payload, ip_id);
+  return b.seal();
 }
 
 }  // namespace barb::net

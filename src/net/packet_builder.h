@@ -3,6 +3,12 @@
 // Builders produce complete, checksummed Ethernet frames. They are used by
 // the host stacks and by the flood generator (which crafts frames directly,
 // like the paper's raw-socket generator).
+//
+// Each builder has two forms: the vector form allocates a fresh byte vector
+// (convenient for tests and policy/one-shot traffic), and the *_pooled form
+// writes the frame straight into a recycled BufferPool buffer — the hot-path
+// form used by the host stack and the flood generator, which performs no
+// heap allocation once the pool is warm.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,7 @@
 #include <vector>
 
 #include "net/ethernet.h"
+#include "net/frame_buffer.h"
 #include "net/ipv4.h"
 #include "net/mac_address.h"
 #include "net/tcp_header.h"
@@ -28,22 +35,40 @@ std::vector<std::uint8_t> build_ipv4_frame(const IpEndpoints& ep, IpProtocol pro
                                            std::span<const std::uint8_t> ip_payload,
                                            std::uint16_t ip_id = 0,
                                            std::uint8_t ttl = Ipv4Header::kDefaultTtl);
+FrameBufferRef build_ipv4_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                       IpProtocol protocol,
+                                       std::span<const std::uint8_t> ip_payload,
+                                       std::uint16_t ip_id = 0,
+                                       std::uint8_t ttl = Ipv4Header::kDefaultTtl);
 
 // UDP datagram with a valid transport checksum.
 std::vector<std::uint8_t> build_udp_frame(const IpEndpoints& ep, std::uint16_t src_port,
                                           std::uint16_t dst_port,
                                           std::span<const std::uint8_t> payload,
                                           std::uint16_t ip_id = 0);
+FrameBufferRef build_udp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                      std::uint16_t src_port, std::uint16_t dst_port,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint16_t ip_id = 0);
 
 // TCP segment; `header.checksum` is computed here.
 std::vector<std::uint8_t> build_tcp_frame(const IpEndpoints& ep, TcpHeader header,
                                           std::span<const std::uint8_t> payload,
                                           std::uint16_t ip_id = 0);
+FrameBufferRef build_tcp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                      TcpHeader header,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint16_t ip_id = 0);
 
 // ICMP message (type/code/rest), checksum computed here.
 std::vector<std::uint8_t> build_icmp_frame(const IpEndpoints& ep, std::uint8_t type,
                                            std::uint8_t code, std::uint32_t rest,
                                            std::span<const std::uint8_t> payload,
                                            std::uint16_t ip_id = 0);
+FrameBufferRef build_icmp_frame_pooled(BufferPool& pool, const IpEndpoints& ep,
+                                       std::uint8_t type, std::uint8_t code,
+                                       std::uint32_t rest,
+                                       std::span<const std::uint8_t> payload,
+                                       std::uint16_t ip_id = 0);
 
 }  // namespace barb::net

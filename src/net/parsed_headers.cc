@@ -1,0 +1,12 @@
+#include "net/parsed_headers.h"
+
+namespace barb::net {
+
+ParsedHeaders ParsedHeaders::parse(std::span<const std::uint8_t> frame) {
+  ParsedHeaders p;
+  p.view = FrameView::parse(frame);
+  if (p.view) p.tuple = p.view->five_tuple();
+  return p;
+}
+
+}  // namespace barb::net

@@ -5,10 +5,10 @@
 // possible ("the ACK I scheduled before the timer fires first").
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -50,27 +50,32 @@ class Scheduler {
     BARB_ASSERT_MSG(at >= now_, "cannot schedule into the past");
     auto cancelled = std::make_shared<bool>(false);
     EventHandle handle{std::weak_ptr<bool>(cancelled)};
-    queue_.push(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+    heap_.push_back(Entry{at, next_seq_++, std::move(fn), std::move(cancelled)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
     return handle;
   }
 
   TimePoint now() const { return now_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
 
   // Time of the earliest pending entry (including cancelled placeholders).
   TimePoint next_event_time() const {
-    BARB_ASSERT(!queue_.empty());
-    return queue_.top().at;
+    BARB_ASSERT(!heap_.empty());
+    return heap_.front().at;
   }
 
   // Pops and runs the earliest event; returns false if the queue is empty.
   // Cancelled entries are discarded without advancing the executed count.
   bool run_one() {
-    while (!queue_.empty()) {
-      Entry e = std::move(const_cast<Entry&>(queue_.top()));
-      queue_.pop();
+    while (!heap_.empty()) {
+      // pop_heap moves the top entry to the back, where it can legally be
+      // moved from (std::priority_queue::top() only exposes a const ref,
+      // which would force a const_cast with undefined-behaviour potential).
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Entry e = std::move(heap_.back());
+      heap_.pop_back();
       if (*e.cancelled) continue;
       BARB_ASSERT(e.at >= now_);
       now_ = e.at;
@@ -95,6 +100,8 @@ class Scheduler {
     Callback fn;
     std::shared_ptr<bool> cancelled;
   };
+  // Strict total order over (at, seq): seq ties can't happen, so the heap's
+  // pop sequence is fully determined and scheduling order breaks time ties.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -102,7 +109,8 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Min-heap via std::push_heap/pop_heap over a plain vector.
+  std::vector<Entry> heap_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;

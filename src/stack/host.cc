@@ -87,7 +87,8 @@ bool Host::send_ip(net::IpProtocol protocol, net::Ipv4Address dst,
   ep.dst_ip = dst;
   ep.src_mac = nic_->mac();
   ep.dst_mac = *dst_mac;
-  auto frame = net::build_ipv4_frame(ep, protocol, ip_payload, next_ip_id());
+  auto frame = net::build_ipv4_frame_pooled(net::BufferPool::instance(), ep,
+                                            protocol, ip_payload, next_ip_id());
   ++stats_.ip_tx;
   send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
   return true;
@@ -112,8 +113,10 @@ void Host::deliver(net::Packet pkt) {
 }
 
 void Host::ip_input(net::Packet pkt) {
-  auto v = net::FrameView::parse(pkt.bytes());
-  if (!v || !v->ip) {
+  // Cached parse: by now the switch and the NIC have already looked at this
+  // frame, so this is a cache read, not a header walk.
+  const net::FrameView* v = pkt.view();
+  if (v == nullptr || !v->ip) {
     ++stats_.ip_rx_dropped;
     return;
   }
@@ -152,8 +155,9 @@ bool Host::send_echo_request(net::Ipv4Address dst, std::uint16_t id,
   ep.src_mac = nic_->mac();
   ep.dst_mac = *dst_mac;
   const std::vector<std::uint8_t> payload(payload_bytes, 0x5a);
-  auto frame = net::build_icmp_frame(
-      ep, static_cast<std::uint8_t>(net::IcmpType::kEchoRequest), 0,
+  auto frame = net::build_icmp_frame_pooled(
+      net::BufferPool::instance(), ep,
+      static_cast<std::uint8_t>(net::IcmpType::kEchoRequest), 0,
       static_cast<std::uint32_t>(id) << 16 | seq, payload, next_ip_id());
   ++stats_.ip_tx;
   send_frame(net::Packet{std::move(frame), sim_.now(), next_packet_id()});
@@ -176,8 +180,9 @@ void Host::handle_icmp(const net::FrameView& v) {
     ep.dst_ip = v.ip->src;
     ep.src_mac = nic_->mac();
     ep.dst_mac = *dst_mac;
-    auto frame = net::build_icmp_frame(
-        ep, static_cast<std::uint8_t>(net::IcmpType::kEchoReply), 0, v.icmp->rest,
+    auto frame = net::build_icmp_frame_pooled(
+        net::BufferPool::instance(), ep,
+        static_cast<std::uint8_t>(net::IcmpType::kEchoReply), 0, v.icmp->rest,
         v.l4_payload, next_ip_id());
     ++stats_.icmp_echo_replies;
     ++stats_.ip_tx;
@@ -210,8 +215,9 @@ void Host::send_icmp_port_unreachable(const net::FrameView& original) {
   ep.dst_ip = original.ip->src;
   ep.src_mac = nic_->mac();
   ep.dst_mac = *dst_mac;
-  auto frame = net::build_icmp_frame(
-      ep, static_cast<std::uint8_t>(net::IcmpType::kDestinationUnreachable),
+  auto frame = net::build_icmp_frame_pooled(
+      net::BufferPool::instance(), ep,
+      static_cast<std::uint8_t>(net::IcmpType::kDestinationUnreachable),
       net::kIcmpCodePortUnreachable, 0, quote, next_ip_id());
   ++stats_.icmp_unreachable_sent;
   ++stats_.ip_tx;

@@ -53,13 +53,12 @@ class Nic : public link::FrameSink {
 
  protected:
   // True if the frame is addressed to this NIC (or broadcast/multicast).
+  // Uses the frame's cached parse: on a broadcast, the first NIC to look
+  // pays for the one parse and every other NIC reads the cache.
   bool addressed_to_us(const net::Packet& pkt) const {
-    if (pkt.size() < net::EthernetHeader::kSize) return false;
-    // Destination MAC is the first six bytes.
-    std::array<std::uint8_t, 6> dst;
-    std::copy_n(pkt.data.begin(), 6, dst.begin());
-    const net::MacAddress mac_dst{dst};
-    return mac_dst == mac_ || mac_dst.is_multicast();
+    const net::FrameView* view = pkt.view();
+    if (view == nullptr) return false;
+    return view->eth.dst == mac_ || view->eth.dst.is_multicast();
   }
 
   void send_to_wire(net::Packet pkt) {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "net/frame_buffer.h"
 #include "net/packet_builder.h"
 #include "sim/simulation.h"
 
@@ -81,6 +82,34 @@ TEST(Switch, BroadcastAlwaysFloods) {
   EXPECT_EQ(f.sinks[1].received.size(), 2u);
   EXPECT_EQ(f.sinks[2].received.size(), 2u);
   EXPECT_EQ(f.sw.stats().flooded, 2u);
+}
+
+// Regression for the broadcast deep copy: flooding a frame to N ports used
+// to re-construct the byte vector per port. Every delivered copy must now
+// share the ingress frame's buffer, and flooding must not allocate new
+// frame buffers at all.
+TEST(Switch, FloodSharesOneBufferAcrossPorts) {
+  SwitchFixture f;
+  const std::size_t live_before = net::BufferPool::instance().live_buffers();
+  net::Packet pkt = frame_between(1, 0, /*broadcast=*/true);
+  const std::uint8_t* origin_bytes = pkt.bytes().data();
+  f.inject(0, std::move(pkt));
+  f.sim.run();
+  ASSERT_EQ(f.sinks[1].received.size(), 1u);
+  ASSERT_EQ(f.sinks[2].received.size(), 1u);
+  const net::Packet& a = f.sinks[1].received[0];
+  const net::Packet& b = f.sinks[2].received[0];
+  // Same backing storage, not merely equal bytes.
+  EXPECT_EQ(a.bytes().data(), origin_bytes);
+  EXPECT_EQ(b.bytes().data(), origin_bytes);
+  EXPECT_TRUE(a.buffer.same_buffer(b.buffer));
+  EXPECT_GE(a.buffer->refcount(), 2u);
+  // Both sinks' handles are the only thing keeping the buffer alive: the
+  // flood created zero additional buffers.
+  EXPECT_EQ(net::BufferPool::instance().live_buffers(), live_before + 1);
+  f.sinks[1].received.clear();
+  f.sinks[2].received.clear();
+  EXPECT_EQ(net::BufferPool::instance().live_buffers(), live_before);
 }
 
 TEST(Switch, FiltersFramesForIngressSegment) {

@@ -33,6 +33,36 @@ TEST(Scheduler, SameTimeEventsFireInSchedulingOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// Regression for the std::push_heap/pop_heap rewrite (the old
+// priority_queue needed a const_cast to move from top()): FIFO tie-break
+// must hold even when same-time events are interleaved with other times,
+// cancellations, and events scheduled from inside callbacks — the shapes
+// that actually exercise sift-up/sift-down in the heap.
+TEST(Scheduler, TieBreakSurvivesInterleavedSchedulingAndCancellation) {
+  Scheduler s;
+  std::vector<int> order;
+  const auto t5 = TimePoint::from_ns(5);
+  const auto t9 = TimePoint::from_ns(9);
+  s.schedule_at(t9, [&] { order.push_back(100); });
+  s.schedule_at(t5, [&] { order.push_back(0); });
+  auto cancelled = s.schedule_at(t5, [&] { order.push_back(-1); });
+  s.schedule_at(t5, [&] {
+    order.push_back(1);
+    // Scheduled mid-execution for the *same* instant: runs after every
+    // entry queued for t5 before it, in scheduling order.
+    s.schedule_at(t5, [&] { order.push_back(3); });
+  });
+  s.schedule_at(TimePoint::from_ns(2), [&] { order.push_back(-2); });
+  s.schedule_at(t5, [&] { order.push_back(2); });
+  s.schedule_at(t9, [&] { order.push_back(101); });
+  cancelled.cancel();
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{-2, 0, 1, 2, 3, 100, 101}));
+  EXPECT_EQ(s.now().ns(), 9);
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
 TEST(Scheduler, CancelledEventDoesNotRun) {
   Scheduler s;
   bool ran = false;

@@ -33,10 +33,10 @@ class ReorderingNic : public StandardNic {
       // wrapper.
       auto held = std::make_shared<net::Packet>(std::move(pkt));
       sim_.schedule(delay, [this, held] {
-        StandardNic::deliver(net::Packet{held->data, held->created, held->id});
+        StandardNic::deliver(*held);  // handle copy: same shared buffer
       });
       if (duplicate_ && sim_.rng().bernoulli(0.3)) {
-        StandardNic::deliver(net::Packet{held->data, held->created, held->id});
+        StandardNic::deliver(*held);
       }
       return;
     }

@@ -95,13 +95,17 @@ class CorruptingNic : public stack::StandardNic {
       : StandardNic(sim, mac, std::move(name)), probability_(corruption_probability) {}
 
   void deliver(net::Packet pkt) override {
-    if (!pkt.data.empty() && sim_.rng().bernoulli(probability_)) {
+    if (pkt.size() > 0 && sim_.rng().bernoulli(probability_)) {
+      // Frame buffers are immutable (other handles may share them), so
+      // corruption rebuilds the packet around a mutated copy of the bytes.
+      std::vector<std::uint8_t> bytes = pkt.copy_bytes();
       // Corrupt beyond the Ethernet header (the switch already routed on it).
       const std::size_t offset =
           net::EthernetHeader::kSize +
-          sim_.rng().uniform(pkt.data.size() - net::EthernetHeader::kSize);
-      pkt.data[offset] ^= static_cast<std::uint8_t>(1u << sim_.rng().uniform(8));
+          sim_.rng().uniform(bytes.size() - net::EthernetHeader::kSize);
+      bytes[offset] ^= static_cast<std::uint8_t>(1u << sim_.rng().uniform(8));
       ++corrupted_;
+      pkt = net::Packet{std::move(bytes), pkt.created, pkt.id};
     }
     StandardNic::deliver(std::move(pkt));
   }
