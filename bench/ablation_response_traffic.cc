@@ -13,32 +13,43 @@
 // what halves tolerance — eliciting responses is.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Ablation: Response Traffic vs. Deny Path",
                       "Ihde & Sanders, DSN 2006, section 4.3 (explanation)");
   const auto opt = bench::bench_options();
   const auto search = bench::bench_search_options();
+  auto runner = bench::make_runner(argc, argv, opt);
   const int depth = 32;
 
-  auto min_rate = [&](apps::FloodType type, firewall::RuleAction action) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kAdf;
-    cfg.action_rule_depth = depth;
-    cfg.flood_action = action;
-    FloodSpec flood;
-    flood.type = type;
-    const auto r = find_min_dos_flood_rate(cfg, flood, opt, search);
-    return r.rate_pps.value_or(0.0);
+  struct Case {
+    apps::FloodType type;
+    firewall::RuleAction action;
   };
-
-  const double tcp_allowed = min_rate(apps::FloodType::kTcpData,
-                                      firewall::RuleAction::kAllow);
-  const double udp_allowed = min_rate(apps::FloodType::kUdp,
-                                      firewall::RuleAction::kAllow);
-  const double tcp_denied = min_rate(apps::FloodType::kTcpData,
-                                     firewall::RuleAction::kDeny);
+  const Case cases[] = {
+      {apps::FloodType::kTcpData, firewall::RuleAction::kAllow},
+      {apps::FloodType::kUdp, firewall::RuleAction::kAllow},
+      {apps::FloodType::kTcpData, firewall::RuleAction::kDeny},
+  };
+  std::vector<std::function<double(const SweepPoint&)>> tasks;
+  for (const auto& c : cases) {
+    tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kAdf;
+      cfg.action_rule_depth = depth;
+      cfg.flood_action = c.action;
+      FloodSpec flood;
+      flood.type = c.type;
+      const auto r =
+          find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed), search);
+      return r.rate_pps.value_or(0.0);
+    });
+  }
+  const auto rates = bench::run_sweep(runner, "response-traffic grid", std::move(tasks));
+  const double tcp_allowed = rates[0];
+  const double udp_allowed = rates[1];
+  const double tcp_denied = rates[2];
 
   telemetry::BenchArtifact artifact("ablation_response_traffic");
   bench::set_common_meta(artifact, opt);

@@ -9,28 +9,33 @@
 // randomized spoofed sources.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Ablation: Early Denial vs. Source Spoofing",
                       "Ihde & Sanders, DSN 2006, sections 4.3 and 5");
   const auto opt = bench::bench_options();
   const auto search = bench::bench_search_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
-  auto min_rate = [&](bool spoof) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kAdf;  // no lockup fault; isolates the effect
-    cfg.action_rule_depth = 64;
-    cfg.deny_attacker_first = true;
-    FloodSpec flood;
-    flood.type = apps::FloodType::kTcpData;
-    flood.spoof_source = spoof;
-    const auto r = find_min_dos_flood_rate(cfg, flood, opt, search);
-    return r.rate_pps.value_or(0.0);
-  };
-
-  const double honest = min_rate(false);
-  const double spoofed = min_rate(true);
+  std::vector<std::function<double(const SweepPoint&)>> tasks;
+  for (bool spoof : {false, true}) {
+    tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kAdf;  // no lockup fault; isolates the effect
+      cfg.action_rule_depth = 64;
+      cfg.deny_attacker_first = true;
+      FloodSpec flood;
+      flood.type = apps::FloodType::kTcpData;
+      flood.spoof_source = spoof;
+      const auto r =
+          find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed), search);
+      return r.rate_pps.value_or(0.0);
+    });
+  }
+  const auto rates = bench::run_sweep(runner, "spoofing grid", std::move(tasks));
+  const double honest = rates[0];
+  const double spoofed = rates[1];
 
   telemetry::BenchArtifact artifact("ablation_spoofing");
   bench::set_common_meta(artifact, opt);

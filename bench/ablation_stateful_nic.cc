@@ -11,12 +11,13 @@
 // card) for the full walk.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Ablation: Stateless vs. Stateful NIC Filtering",
                       "Ihde & Sanders, DSN 2006 — EFW statelessness (sections 2, 4)");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("ablation_stateful_nic");
   bench::set_common_meta(artifact, opt);
@@ -25,33 +26,55 @@ int main() {
   stateful_profile.name = "EFW-stateful";
   stateful_profile.stateful = true;
 
+  // Grid: (depth x {stateless, stateful}) bandwidth points.
+  const int depths[] = {1, 16, 32, 48, 64};
+  std::vector<std::function<double(const SweepPoint&)>> bw_tasks;
+  for (int depth : depths) {
+    for (bool stateful : {false, true}) {
+      bw_tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kEfw;
+        cfg.action_rule_depth = depth;
+        if (stateful) cfg.profile_override = stateful_profile;
+        return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed)).mean();
+      });
+    }
+  }
+  const auto bw = bench::run_sweep(runner, "stateful-nic bandwidth grid",
+                                   std::move(bw_tasks));
+
   TextTable fig2({"Rules", "EFW stateless (Mbps)", "EFW stateful (Mbps)"});
-  for (int depth : {1, 16, 32, 48, 64}) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kEfw;
-    cfg.action_rule_depth = depth;
-    const double stateless = measure_available_bandwidth(cfg, opt).mean();
-    cfg.profile_override = stateful_profile;
-    const double stateful = measure_available_bandwidth(cfg, opt).mean();
+  std::size_t slot = 0;
+  for (int depth : depths) {
+    const double stateless = bw[slot++];
+    const double stateful = bw[slot++];
     artifact.add_point("EFW stateless (Mbps)", depth, stateless);
     artifact.add_point("EFW stateful (Mbps)", depth, stateful);
     fig2.add_row({std::to_string(depth), fmt(stateless), fmt(stateful)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", fig2.to_string().c_str());
 
   // Flood tolerance at depth 64 (allowed TCP data flood, spoofed source
   // ports -> every flood packet is a fresh flow).
   const auto search = bench::bench_search_options();
-  FloodSpec flood;
-  flood.type = apps::FloodType::kTcpData;
-  flood.spoof_source = true;
-  TestbedConfig cfg;
-  cfg.firewall = FirewallKind::kEfw;
-  cfg.action_rule_depth = 64;
-  const auto stateless_dos = find_min_dos_flood_rate(cfg, flood, opt, search);
-  cfg.profile_override = stateful_profile;
-  const auto stateful_dos = find_min_dos_flood_rate(cfg, flood, opt, search);
+  std::vector<std::function<MinFloodResult(const SweepPoint&)>> dos_tasks;
+  for (bool stateful : {false, true}) {
+    dos_tasks.push_back([=](const SweepPoint& p) {
+      FloodSpec flood;
+      flood.type = apps::FloodType::kTcpData;
+      flood.spoof_source = true;
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kEfw;
+      cfg.action_rule_depth = 64;
+      if (stateful) cfg.profile_override = stateful_profile;
+      return find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed),
+                                     search);
+    });
+  }
+  const auto dos =
+      bench::run_sweep(runner, "stateful-nic DoS searches", std::move(dos_tasks));
+  const auto& stateless_dos = dos[0];
+  const auto& stateful_dos = dos[1];
 
   TextTable fig3({"Model (64 rules, spoofed TCP flood)", "Min DoS rate (pps)"});
   fig3.add_row({"EFW stateless",

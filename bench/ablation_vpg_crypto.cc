@@ -8,33 +8,45 @@
 // decryption at every VPG rule it walked.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Ablation: VPG Crypto Placement",
                       "Ihde & Sanders, DSN 2006, section 4.1 (VPG inference)");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("ablation_vpg_crypto");
   bench::set_common_meta(artifact, opt);
 
+  // Grid: (vpgs x {at-match, always}) bandwidth points.
+  const int vpg_counts[] = {1, 2, 3, 4};
+  std::vector<std::function<double(const SweepPoint&)>> tasks;
+  for (int vpgs : vpg_counts) {
+    for (bool always : {false, true}) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kAdfVpg;
+        cfg.action_rule_depth = vpgs;
+        if (always) {
+          auto profile = firewall::adf_profile();
+          profile.vpg_decrypt_always = true;
+          cfg.profile_override = profile;
+        }
+        return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed)).mean();
+      });
+    }
+  }
+  const auto results = bench::run_sweep(runner, "vpg-crypto grid", std::move(tasks));
+
   TextTable table({"VPGs", "decrypt-at-match (Mbps)", "decrypt-always (Mbps)"});
-  for (int vpgs : {1, 2, 3, 4}) {
-    TestbedConfig at_match;
-    at_match.firewall = FirewallKind::kAdfVpg;
-    at_match.action_rule_depth = vpgs;
-    const double real = measure_available_bandwidth(at_match, opt).mean();
-
-    TestbedConfig always = at_match;
-    auto profile = firewall::adf_profile();
-    profile.vpg_decrypt_always = true;
-    always.profile_override = profile;
-    const double naive = measure_available_bandwidth(always, opt).mean();
-
+  std::size_t slot = 0;
+  for (int vpgs : vpg_counts) {
+    const double real = results[slot++];
+    const double naive = results[slot++];
     artifact.add_point("decrypt-at-match (Mbps)", vpgs, real);
     artifact.add_point("decrypt-always (Mbps)", vpgs, naive);
     table.add_row({std::to_string(vpgs), fmt(real), fmt(naive)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   bench::write_artifact(artifact);

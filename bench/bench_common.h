@@ -3,14 +3,26 @@
 // Each binary regenerates one table or figure from the paper's evaluation
 // and prints it as an aligned table plus CSV. Set BARB_BENCH_FAST=1 for a
 // quick pass (shorter windows, fewer repetitions, coarser searches).
+//
+// Every grid-driving binary accepts `--jobs N` (or $BARB_JOBS) and executes
+// its independent points through core::SweepRunner. Artifacts, tables, and
+// stdout are byte-identical for every N at the same seed: per-point seeds
+// derive from (base seed, point index) and results are collected
+// slot-per-point, so only wall-clock changes. Progress/timing notes go to
+// stderr to keep stdout deterministic.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiments.h"
 #include "core/report.h"
+#include "core/runner.h"
 #include "telemetry/artifact.h"
 #include "util/logging.h"
 
@@ -48,6 +60,37 @@ inline core::MinFloodSearchOptions bench_search_options() {
   core::MinFloodSearchOptions search;
   search.precision = fast_mode() ? 1.25 : 1.08;
   return search;
+}
+
+// Sweep runner honouring --jobs N / $BARB_JOBS (default 1 = exact serial
+// path), seeded from the measurement options' base seed.
+inline core::SweepRunner make_runner(int argc, char** argv,
+                                     const core::MeasurementOptions& opt) {
+  core::SweepRunner::Options ro;
+  ro.jobs = core::jobs_from_cli(argc, argv);
+  ro.base_seed = opt.seed;
+  return core::SweepRunner(ro);
+}
+
+// Copy of `opt` re-seeded for one sweep point.
+inline core::MeasurementOptions with_seed(core::MeasurementOptions opt,
+                                          std::uint64_t seed) {
+  opt.seed = seed;
+  return opt;
+}
+
+// Runs one task grid through the runner and notes wall-clock on stderr
+// (stderr, not stdout: the figure output must not depend on --jobs).
+template <typename R>
+std::vector<R> run_sweep(core::SweepRunner& runner, const char* label,
+                         std::vector<std::function<R(const core::SweepPoint&)>> tasks) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto results = runner.run(std::move(tasks));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::fprintf(stderr, "(%s: %zu points, jobs=%d, %.2f s wall)\n", label,
+               results.size(), runner.jobs(), secs);
+  return results;
 }
 
 // Writes a table's CSV to <dir>/<name>.csv, where <dir> is

@@ -8,35 +8,57 @@
 // almost free.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Figure 2: Available Bandwidth vs. Rule-Set Depth",
                       "Ihde & Sanders, DSN 2006, Figure 2");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("fig2_bandwidth");
   bench::set_common_meta(artifact, opt);
 
+  // One flat grid: 8 depths x 4 firewall kinds, then the 4 VPG counts.
+  // Enqueue order fixes each point's slot and derived seed.
   const int depths[] = {1, 2, 4, 8, 16, 32, 48, 64};
+  const FirewallKind kinds[] = {FirewallKind::kNone, FirewallKind::kIptables,
+                                FirewallKind::kEfw, FirewallKind::kAdf};
+  std::vector<std::function<BandwidthPoint(const SweepPoint&)>> tasks;
+  for (int depth : depths) {
+    for (auto kind : kinds) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = kind;
+        cfg.action_rule_depth = depth;
+        return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed));
+      });
+    }
+  }
+  for (int vpgs : {1, 2, 3, 4}) {
+    tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kAdfVpg;
+      cfg.action_rule_depth = vpgs;
+      return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed));
+    });
+  }
+  const auto results = bench::run_sweep(runner, "fig2 grid", std::move(tasks));
+
   TextTable table({"Rules Traversed", "No Firewall (Mbps)", "iptables (Mbps)",
                    "EFW (Mbps)", "ADF (Mbps)"});
   const char* series_names[] = {"No Firewall", "iptables", "EFW", "ADF"};
+  std::size_t slot = 0;
   for (int depth : depths) {
     std::vector<std::string> row{std::to_string(depth)};
     std::size_t series = 0;
-    for (auto kind : {FirewallKind::kNone, FirewallKind::kIptables, FirewallKind::kEfw,
-                      FirewallKind::kAdf}) {
-      TestbedConfig cfg;
-      cfg.firewall = kind;
-      cfg.action_rule_depth = depth;
-      const auto point = measure_available_bandwidth(cfg, opt);
+    for ([[maybe_unused]] auto kind : kinds) {
+      const auto& point = results[slot++];
       artifact.add_point(series_names[series++], depth, point.mean(),
                          point.mbps.count() > 1 ? std::optional(point.stddev())
                                                 : std::nullopt);
       row.push_back(fmt(point.mean()) +
                     (point.mbps.count() > 1 ? " +/-" + fmt(point.stddev()) : ""));
-      std::fflush(stdout);
     }
     table.add_row(std::move(row));
   }
@@ -45,10 +67,7 @@ int main() {
 
   TextTable vpg_table({"VPGs (1 matching + N-1 non-matching)", "ADF VPG (Mbps)"});
   for (int vpgs : {1, 2, 3, 4}) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kAdfVpg;
-    cfg.action_rule_depth = vpgs;
-    const auto point = measure_available_bandwidth(cfg, opt);
+    const auto& point = results[slot++];
     artifact.add_point("ADF (VPG)", vpgs, point.mean());
     vpg_table.add_row({std::to_string(vpgs), fmt(point.mean())});
   }

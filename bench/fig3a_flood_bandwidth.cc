@@ -8,12 +8,13 @@
 // the ADF VPG curve declines near-linearly with flood rate.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Figure 3(a): Available Bandwidth During Packet Flood",
                       "Ihde & Sanders, DSN 2006, Figure 3(a)");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("fig3a_flood_bandwidth");
   bench::set_common_meta(artifact, opt);
@@ -21,26 +22,39 @@ int main() {
 
   const double rates[] = {5000,  10000, 15000, 20000, 25000,
                           30000, 35000, 40000, 45000};
+  const FirewallKind kinds[] = {FirewallKind::kNone, FirewallKind::kIptables,
+                                FirewallKind::kEfw, FirewallKind::kAdf,
+                                FirewallKind::kAdfVpg};
+  std::vector<std::function<BandwidthPoint(const SweepPoint&)>> tasks;
+  for (double rate : rates) {
+    for (auto kind : kinds) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = kind;
+        cfg.action_rule_depth = 1;
+        FloodSpec flood;  // minimum-size UDP flood, the attacker's optimum
+        flood.rate_pps = rate;
+        return measure_bandwidth_under_flood(cfg, flood,
+                                             bench::with_seed(opt, p.seed));
+      });
+    }
+  }
+  const auto results = bench::run_sweep(runner, "fig3a grid", std::move(tasks));
+
   TextTable table({"Flood Rate (pps)", "No Firewall", "iptables", "EFW", "ADF",
                    "ADF (VPG)"});
   const char* series_names[] = {"No Firewall", "iptables", "EFW", "ADF",
                                 "ADF (VPG)"};
+  std::size_t slot = 0;
   for (double rate : rates) {
     std::vector<std::string> row{fmt_int(rate)};
     std::size_t series = 0;
-    for (auto kind : {FirewallKind::kNone, FirewallKind::kIptables, FirewallKind::kEfw,
-                      FirewallKind::kAdf, FirewallKind::kAdfVpg}) {
-      TestbedConfig cfg;
-      cfg.firewall = kind;
-      cfg.action_rule_depth = 1;
-      FloodSpec flood;  // minimum-size UDP flood, the attacker's optimum
-      flood.rate_pps = rate;
-      const auto point = measure_bandwidth_under_flood(cfg, flood, opt);
+    for ([[maybe_unused]] auto kind : kinds) {
+      const auto& point = results[slot++];
       artifact.add_point(series_names[series++], rate, point.mean(),
                          point.mbps.count() > 1 ? std::optional(point.stddev())
                                                 : std::nullopt);
       row.push_back(fmt(point.mean()));
-      std::fflush(stdout);
     }
     table.add_row(std::move(row));
   }
@@ -49,17 +63,26 @@ int main() {
 
   // Sim-time view of the 30 kpps column: goodput vs. time plus every
   // firewall/queue/stack metric, sampled on the sim clock.
-  for (auto kind : {FirewallKind::kNone, FirewallKind::kAdf}) {
-    TestbedConfig cfg;
-    cfg.firewall = kind;
-    cfg.action_rule_depth = 1;
-    FloodSpec flood;
-    flood.rate_pps = 30000;
-    const auto timeline = record_flood_timeline(cfg, flood, opt);
-    artifact.add_recording(std::string(to_string(kind)) + " flood_30kpps",
-                           timeline.recording);
+  const FirewallKind timeline_kinds[] = {FirewallKind::kNone, FirewallKind::kAdf};
+  std::vector<std::function<FloodTimeline(const SweepPoint&)>> timeline_tasks;
+  for (auto kind : timeline_kinds) {
+    timeline_tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = kind;
+      cfg.action_rule_depth = 1;
+      FloodSpec flood;
+      flood.rate_pps = 30000;
+      return record_flood_timeline(cfg, flood, bench::with_seed(opt, p.seed));
+    });
+  }
+  const auto timelines =
+      bench::run_sweep(runner, "fig3a timelines", std::move(timeline_tasks));
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    artifact.add_recording(std::string(to_string(timeline_kinds[i])) +
+                               " flood_30kpps",
+                           timelines[i].recording);
     std::printf("timeline %-12s: goodput under 30 kpps flood = %s Mbps\n",
-                to_string(kind), fmt(timeline.mbps).c_str());
+                to_string(timeline_kinds[i]), fmt(timelines[i].mbps).c_str());
   }
   std::printf("\n");
   bench::write_artifact(artifact);

@@ -8,13 +8,14 @@
 // the required rate (no TCP RST responses); the EFW deny case latches.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Figure 3(b): Minimum DoS Flood Rate vs. Rule Depth",
                       "Ihde & Sanders, DSN 2006, Figure 3(b)");
   const auto opt = bench::bench_options();
   const auto search = bench::bench_search_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("fig3b_min_flood_rate");
   bench::set_common_meta(artifact, opt);
@@ -34,18 +35,34 @@ int main() {
   };
   const int depths[] = {1, 8, 16, 32, 64};
 
+  // Each (series, depth) cell is one task: a full ladder + bisection search,
+  // the most expensive point grid in the suite — and every probe within a
+  // cell stays sequential (the bisection is inherently so), so cells are the
+  // parallelism grain.
+  std::vector<std::function<MinFloodResult(const SweepPoint&)>> tasks;
+  for (const auto& s : series) {
+    for (int depth : depths) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = s.kind;
+        cfg.action_rule_depth = depth;
+        cfg.flood_action = s.action;
+        FloodSpec flood;
+        // TCP data flood: when allowed, every packet draws a RST response.
+        flood.type = apps::FloodType::kTcpData;
+        return find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed),
+                                       search);
+      });
+    }
+  }
+  const auto results = bench::run_sweep(runner, "fig3b grid", std::move(tasks));
+
   TextTable table({"Series", "d=1", "d=8", "d=16", "d=32", "d=64"});
+  std::size_t slot = 0;
   for (const auto& s : series) {
     std::vector<std::string> row{s.name};
     for (int depth : depths) {
-      TestbedConfig cfg;
-      cfg.firewall = s.kind;
-      cfg.action_rule_depth = depth;
-      cfg.flood_action = s.action;
-      FloodSpec flood;
-      // TCP data flood: when allowed, every packet draws a RST response.
-      flood.type = apps::FloodType::kTcpData;
-      const auto result = find_min_dos_flood_rate(cfg, flood, opt, search);
+      const auto& result = results[slot++];
       // The table is transposed (series down, depth across), so the artifact
       // points are added per cell: x = rule depth, y = min DoS rate.
       if (result.rate_pps) artifact.add_point(s.name, depth, *result.rate_pps);
@@ -55,7 +72,6 @@ int main() {
       std::string cell = result.rate_pps ? fmt_int(*result.rate_pps) : "none";
       if (result.lockup_observed) cell += " [LOCKUP]";
       row.push_back(std::move(cell));
-      std::fflush(stdout);
     }
     table.add_row(std::move(row));
   }

@@ -6,38 +6,62 @@
 // 100 Mbps network, and no achievable flood rate causes denial of service.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("iptables Sweep to 100 Rules",
                       "Hoffman et al. baseline used in sections 4.1-4.2");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("iptables_sweep");
   bench::set_common_meta(artifact, opt);
 
+  // Grid: (depth x {clean, flooded}) bandwidth points.
+  const int depths[] = {1, 8, 16, 32, 64, 100};
+  std::vector<std::function<double(const SweepPoint&)>> tasks;
+  for (int depth : depths) {
+    for (bool flooded : {false, true}) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kIptables;
+        cfg.action_rule_depth = depth;
+        if (!flooded) {
+          return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed))
+              .mean();
+        }
+        FloodSpec flood;
+        flood.rate_pps = 30000;
+        return measure_bandwidth_under_flood(cfg, flood,
+                                             bench::with_seed(opt, p.seed))
+            .mean();
+      });
+    }
+  }
+  const auto bw = bench::run_sweep(runner, "iptables grid", std::move(tasks));
+
   TextTable table({"Rules", "Bandwidth (Mbps)", "Bandwidth @30kpps flood (Mbps)"});
-  for (int depth : {1, 8, 16, 32, 64, 100}) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kIptables;
-    cfg.action_rule_depth = depth;
-    const double clean = measure_available_bandwidth(cfg, opt).mean();
-    FloodSpec flood;
-    flood.rate_pps = 30000;
-    const double flooded = measure_bandwidth_under_flood(cfg, flood, opt).mean();
+  std::size_t slot = 0;
+  for (int depth : depths) {
+    const double clean = bw[slot++];
+    const double flooded = bw[slot++];
     table.add_row({std::to_string(depth), fmt(clean), fmt(flooded)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   bench::add_table_points(artifact, table);
 
   // Flood search at the deepest rule-set: there must be no DoS rate.
-  TestbedConfig cfg;
-  cfg.firewall = FirewallKind::kIptables;
-  cfg.action_rule_depth = 100;
-  FloodSpec flood;
+  std::vector<std::function<MinFloodResult(const SweepPoint&)>> dos_tasks;
+  dos_tasks.push_back([=](const SweepPoint& p) {
+    TestbedConfig cfg;
+    cfg.firewall = FirewallKind::kIptables;
+    cfg.action_rule_depth = 100;
+    FloodSpec flood;
+    return find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed),
+                                   bench::bench_search_options());
+  });
   const auto result =
-      find_min_dos_flood_rate(cfg, flood, opt, bench::bench_search_options());
+      bench::run_sweep(runner, "iptables DoS search", std::move(dos_tasks))[0];
   artifact.set_meta("min_dos_rate_at_100_rules",
                     result.rate_pps ? *result.rate_pps : -1.0);
   bench::write_artifact(artifact);

@@ -18,10 +18,13 @@ using namespace barb;
 using namespace barb::core;
 
 // Highest rate (pps) of `frame_size` UDP frames the target's firewall
-// delivers with zero loss over a one-second trial.
-double max_lossless_rate(FirewallKind kind, int depth, std::size_t frame_size) {
+// delivers with zero loss over a one-second trial. Every probe in the binary
+// search runs a fresh simulation from `seed`, so the search is a pure
+// function of its arguments and safe to run on a sweep-runner worker.
+double max_lossless_rate(FirewallKind kind, int depth, std::size_t frame_size,
+                         std::uint64_t seed) {
   auto lossless_at = [&](double rate) {
-    sim::Simulation sim(1);
+    sim::Simulation sim(seed);
     TestbedConfig cfg;
     cfg.firewall = kind;
     cfg.action_rule_depth = depth;
@@ -59,19 +62,36 @@ double max_lossless_rate(FirewallKind kind, int depth, std::size_t frame_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Appendix: RFC 2544-style Maximum Lossless Throughput",
                       "Ihde & Sanders, DSN 2006, section 4.1 methodology notes");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("rfc2544_throughput");
   bench::set_common_meta(artifact, opt);
 
+  // Grid: (kind x frame size) lossless-rate searches, each a full binary
+  // search and thus the parallelism grain.
+  const FirewallKind kinds[] = {FirewallKind::kEfw, FirewallKind::kAdf};
+  const std::size_t frame_sizes[] = {60, 1514};
+  std::vector<std::function<double(const SweepPoint&)>> direct_tasks;
+  for (auto kind : kinds) {
+    for (std::size_t frame_size : frame_sizes) {
+      direct_tasks.push_back([=](const SweepPoint& p) {
+        return max_lossless_rate(kind, 64, frame_size, p.seed);
+      });
+    }
+  }
+  const auto direct_rates =
+      bench::run_sweep(runner, "rfc2544 direct grid", std::move(direct_tasks));
+
   TextTable direct({"Device (64 rules)", "64 B frames (pps)", "1514 B frames (pps)",
                     "1514 B frames (Mbps)"});
-  for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
-    const double small = max_lossless_rate(kind, 64, 60);
-    const double big = max_lossless_rate(kind, 64, 1514);
+  std::size_t slot = 0;
+  for (auto kind : kinds) {
+    const double small = direct_rates[slot++];
+    const double big = direct_rates[slot++];
     // One series per device, x = frame size in bytes on the wire.
     artifact.add_point(std::string(to_string(kind)) + " lossless rate (pps)", 60,
                        small);
@@ -79,18 +99,27 @@ int main() {
                        big);
     direct.add_row({to_string(kind), fmt_int(small), fmt_int(big),
                     fmt(big * 1514 * 8 / 1e6)});
-    std::fflush(stdout);
   }
   std::printf("%s\n", direct.to_string().c_str());
 
   // The paper's indirect estimate from the Figure-2 bandwidth measurement.
+  std::vector<std::function<double(const SweepPoint&)>> indirect_tasks;
+  for (auto kind : kinds) {
+    indirect_tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = kind;
+      cfg.action_rule_depth = 64;
+      return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed)).mean();
+    });
+  }
+  const auto indirect_bw =
+      bench::run_sweep(runner, "rfc2544 indirect grid", std::move(indirect_tasks));
+
   TextTable indirect({"Device (64 rules)", "iperf BW (Mbps)",
                       "BW/FrameSize estimate (pps)"});
-  for (auto kind : {FirewallKind::kEfw, FirewallKind::kAdf}) {
-    TestbedConfig cfg;
-    cfg.firewall = kind;
-    cfg.action_rule_depth = 64;
-    const double mbps = measure_available_bandwidth(cfg, opt).mean();
+  slot = 0;
+  for (auto kind : kinds) {
+    const double mbps = indirect_bw[slot++];
     artifact.add_point(std::string(to_string(kind)) + " indirect estimate (pps)",
                        1514, mbps * 1e6 / 8 / 1514);
     indirect.add_row({to_string(kind), fmt(mbps), fmt_int(mbps * 1e6 / 8 / 1514)});

@@ -11,12 +11,13 @@
 #include "apps/http.h"
 #include "core/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace barb;
   using namespace barb::core;
   bench::print_header("Table 1: HTTP Performance Behind the ADF",
                       "Ihde & Sanders, DSN 2006, Table 1");
   const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
 
   telemetry::BenchArtifact artifact("table1_http");
   bench::set_common_meta(artifact, opt);
@@ -33,33 +34,52 @@ int main() {
                        p.mean_response_ms);
   };
 
-  TestbedConfig baseline;
-  const auto base = measure_http_performance(baseline, opt);
+  // Grid: slot 0 = standard-NIC baseline, then the ADF rule depths, then
+  // the VPG counts.
+  const int rule_depths[] = {1, 4, 16, 32, 64};
+  const int vpg_counts[] = {1, 2, 4};
+  std::vector<std::function<HttpPoint(const SweepPoint&)>> tasks;
+  tasks.push_back([=](const SweepPoint& p) {
+    TestbedConfig baseline;
+    return measure_http_performance(baseline, bench::with_seed(opt, p.seed));
+  });
+  for (int depth : rule_depths) {
+    tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kAdf;
+      cfg.action_rule_depth = depth;
+      return measure_http_performance(cfg, bench::with_seed(opt, p.seed));
+    });
+  }
+  for (int vpgs : vpg_counts) {
+    tasks.push_back([=](const SweepPoint& p) {
+      TestbedConfig cfg;
+      cfg.firewall = FirewallKind::kAdfVpg;
+      cfg.action_rule_depth = vpgs;
+      return measure_http_performance(cfg, bench::with_seed(opt, p.seed));
+    });
+  }
+  const auto results = bench::run_sweep(runner, "table1 grid", std::move(tasks));
+
+  std::size_t slot = 0;
+  const auto base = results[slot++];
   table.add_row({"Standard NIC", fmt(base.fetches_per_sec), fmt(base.mean_connect_ms, 2),
                  fmt(base.mean_response_ms, 2)});
   add_http_point("ADF rules", 0, base);
 
   double worst_fetches = base.fetches_per_sec;
-  for (int depth : {1, 4, 16, 32, 64}) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kAdf;
-    cfg.action_rule_depth = depth;
-    const auto p = measure_http_performance(cfg, opt);
+  for (int depth : rule_depths) {
+    const auto& p = results[slot++];
     table.add_row({"ADF, " + std::to_string(depth) + " rules", fmt(p.fetches_per_sec),
                    fmt(p.mean_connect_ms, 2), fmt(p.mean_response_ms, 2)});
     add_http_point("ADF rules", depth, p);
     worst_fetches = std::min(worst_fetches, p.fetches_per_sec);
-    std::fflush(stdout);
   }
-  for (int vpgs : {1, 2, 4}) {
-    TestbedConfig cfg;
-    cfg.firewall = FirewallKind::kAdfVpg;
-    cfg.action_rule_depth = vpgs;
-    const auto p = measure_http_performance(cfg, opt);
+  for (int vpgs : vpg_counts) {
+    const auto& p = results[slot++];
     table.add_row({"ADF, " + std::to_string(vpgs) + " VPG(s)", fmt(p.fetches_per_sec),
                    fmt(p.mean_connect_ms, 2), fmt(p.mean_response_ms, 2)});
     add_http_point("ADF VPGs", vpgs, p);
-    std::fflush(stdout);
   }
 
   std::printf("%s\n", table.to_string().c_str());
@@ -76,24 +96,41 @@ int main() {
   // parallel connections supported by the server at a given connection
   // rate") — a fixed 100 connections/s against the same configurations.
   TextTable parallel({"Experiment", "mean parallel conns @100/s", "completed %"});
-  auto parallel_row = [&](const char* label, FirewallKind kind, int depth) {
-    sim::Simulation sim(opt.seed);
-    TestbedConfig cfg;
-    cfg.firewall = kind;
-    cfg.action_rule_depth = depth;
-    Testbed tb(sim, cfg);
-    apps::HttpServer server(tb.target(), 80);
-    server.start();
-    apps::HttpParallelLoadClient client(tb.client(), tb.addresses().target);
-    apps::HttpParallelResult result;
-    client.run(100, opt.http_duration, [&](apps::HttpParallelResult r) { result = r; });
-    sim.run_for(opt.http_duration + sim::Duration::seconds(2));
-    parallel.add_row({label, fmt(result.mean_parallel, 2),
-                      fmt(result.completion_fraction * 100, 1)});
+  struct ParallelCase {
+    const char* label;
+    FirewallKind kind;
+    int depth;
   };
-  parallel_row("Standard NIC", FirewallKind::kNone, 1);
-  parallel_row("ADF, 64 rules", FirewallKind::kAdf, 64);
-  parallel_row("ADF, 1 VPG", FirewallKind::kAdfVpg, 1);
+  const ParallelCase cases[] = {
+      {"Standard NIC", FirewallKind::kNone, 1},
+      {"ADF, 64 rules", FirewallKind::kAdf, 64},
+      {"ADF, 1 VPG", FirewallKind::kAdfVpg, 1},
+  };
+  std::vector<std::function<apps::HttpParallelResult(const SweepPoint&)>>
+      parallel_tasks;
+  for (const auto& c : cases) {
+    parallel_tasks.push_back([=](const SweepPoint& p) {
+      sim::Simulation sim(p.seed);
+      TestbedConfig cfg;
+      cfg.firewall = c.kind;
+      cfg.action_rule_depth = c.depth;
+      Testbed tb(sim, cfg);
+      apps::HttpServer server(tb.target(), 80);
+      server.start();
+      apps::HttpParallelLoadClient client(tb.client(), tb.addresses().target);
+      apps::HttpParallelResult result;
+      client.run(100, opt.http_duration,
+                 [&](apps::HttpParallelResult r) { result = r; });
+      sim.run_for(opt.http_duration + sim::Duration::seconds(2));
+      return result;
+    });
+  }
+  const auto parallel_results =
+      bench::run_sweep(runner, "table1 parallel appendix", std::move(parallel_tasks));
+  for (std::size_t i = 0; i < parallel_results.size(); ++i) {
+    parallel.add_row({cases[i].label, fmt(parallel_results[i].mean_parallel, 2),
+                      fmt(parallel_results[i].completion_fraction * 100, 1)});
+  }
   std::printf("\n%s\n", parallel.to_string().c_str());
   std::printf("Slower per-fetch paths need more concurrent connections to hold\n"
               "the same request rate (Little's law) — the firewall tax again,\n"

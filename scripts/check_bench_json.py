@@ -3,6 +3,12 @@
 
 Usage: check_bench_json.py FILE [FILE ...] [--require-timeline]
                            [--require-series=NAME ...]
+       check_bench_json.py --compare FILE_A FILE_B
+
+With --compare, both files must validate AND be byte-identical — the
+determinism gate for parallel sweeps (a bench run with --jobs N must write
+exactly the artifact its --jobs 1 run writes). On mismatch the first
+differing JSON path is reported to help localize which point diverged.
 
 Checks, per file:
   * top level is an object with schema == "barb-bench-v1", a non-empty
@@ -142,20 +148,71 @@ def check_file(path, require_timeline, require_series=()):
     return True
 
 
+def first_json_difference(a, b, path="$"):
+    """Returns a human-readable locator of the first structural difference."""
+    if type(a) is not type(b):
+        return f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a:
+                return f"{path}.{k}: only in second file"
+            if k not in b:
+                return f"{path}.{k}: only in first file"
+            d = first_json_difference(a[k], b[k], f"{path}.{k}")
+            if d:
+                return d
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (va, vb) in enumerate(zip(a, b)):
+            d = first_json_difference(va, vb, f"{path}[{i}]")
+            if d:
+                return d
+        return None
+    return None if a == b else f"{path}: {a!r} != {b!r}"
+
+
+def compare_files(path_a, path_b):
+    if not check_file(path_a, False) or not check_file(path_b, False):
+        return False
+    with open(path_a, "rb") as f:
+        raw_a = f.read()
+    with open(path_b, "rb") as f:
+        raw_b = f.read()
+    if raw_a == raw_b:
+        print(f"{path_a} == {path_b} ({len(raw_a)} bytes, identical)")
+        return True
+    diff = first_json_difference(
+        json.loads(raw_a.decode("utf-8")), json.loads(raw_b.decode("utf-8"))
+    )
+    return fail(
+        path_b,
+        "differs from " + path_a
+        + (f" at {diff}" if diff else " (byte-level only: whitespace/key order)"),
+    )
+
+
 def main(argv):
     require_timeline = "--require-timeline" in argv
     require_series = [
         a.split("=", 1)[1] for a in argv if a.startswith("--require-series=")
     ]
+    compare = "--compare" in argv
     unknown = [
         a for a in argv
-        if a.startswith("--") and a != "--require-timeline"
+        if a.startswith("--") and a not in ("--require-timeline", "--compare")
         and not a.startswith("--require-series=")
     ]
     if unknown:
         print(f"unknown option(s): {' '.join(unknown)}", file=sys.stderr)
         return 1
     files = [a for a in argv if not a.startswith("--")]
+    if compare:
+        if len(files) != 2:
+            print("--compare takes exactly two files", file=sys.stderr)
+            return 1
+        return 0 if compare_files(files[0], files[1]) else 1
     if not files:
         print(__doc__, file=sys.stderr)
         return 1

@@ -11,13 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
-# detect_leaks=0: applications legitimately capture their connection's
-# shared_ptr in its own on_data/on_closed callbacks, a pre-existing
-# TcpConnection ownership cycle LeakSanitizer reports at process exit (it
-# predates the ASAN wiring; verified identical at the seed revision). The
-# checks that guard the refcounted frame-buffer code — use-after-free,
-# buffer overflow, UB — are unaffected. See ROADMAP.md.
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0:strict_string_checks=1"
+# detect_leaks=1: the TcpConnection callback ownership cycle that used to
+# force this off is fixed (to_closed()/~TcpLayer() clear the callbacks; see
+# tests/stack/tcp_leak_test.cc for the regression test), so LeakSanitizer
+# runs at full strength.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 cmake -B "$BUILD_DIR" -S . -DASAN=ON

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Configure, build, and run the threading-sensitive tests under
+# ThreadSanitizer: the sweep runner (thread pool + result slots) and the
+# buffer pool (thread-local instances with plain refcounts — TSan proves the
+# pools really are disjoint).
+#
+# Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+cmake -B "$BUILD_DIR" -S . -DTSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target core_sweep_runner_test net_buffer_pool_stress_test
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'SweepRunner|DerivePointSeed|ResolveJobs|JobsFromCli|BufferPoolThreading'

@@ -1,0 +1,53 @@
+#include "core/runner.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace barb::core {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_point_seed(std::uint64_t base_seed,
+                                std::uint64_t point_index) {
+  // Mix the pair through two rounds with distinct odd constants so that
+  // (base, i) and (base + 1, i - 1)-style collisions cannot happen by
+  // construction of a single additive combination.
+  return mix64(mix64(base_seed ^ 0x9e3779b97f4a7c15ULL) +
+               point_index * 0xd1342543de82ef95ULL + 1);
+}
+
+int resolve_jobs(int requested) {
+  if (requested >= 1) return requested;
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return 1;
+}
+
+int jobs_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--jobs" && i + 1 < argc) {
+      return resolve_jobs(std::atoi(argv[i + 1]));
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      return resolve_jobs(std::atoi(argv[i] + 7));
+    }
+  }
+  if (const char* env = std::getenv("BARB_JOBS"); env != nullptr && *env != '\0') {
+    return resolve_jobs(std::atoi(env));
+  }
+  return 1;
+}
+
+}  // namespace barb::core

@@ -249,8 +249,9 @@ void Testbed::register_metrics(telemetry::MetricRegistry& registry) {
 }
 
 void Testbed::register_pool_metrics(telemetry::MetricRegistry& registry) {
-  // Frame buffer pool. The pool is process-global (src/net must not depend
-  // on telemetry), so the testbed bridges its plain stats into the registry.
+  // Frame buffer pool. The pool is thread-local (src/net must not depend
+  // on telemetry), so the testbed bridges the calling thread's pool stats
+  // into the registry; the samplers are only valid on this thread.
   auto& pool = net::BufferPool::instance();
   auto pool_counter = [&](const char* name,
                           std::uint64_t net::BufferPoolStats::* field) {

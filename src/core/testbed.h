@@ -105,12 +105,13 @@ class Testbed {
   // Testbed is gone).
   void register_metrics(telemetry::MetricRegistry& registry);
 
-  // Registers the process-global frame buffer pool's counters and gauges
+  // Registers this thread's frame buffer pool's counters and gauges
   // ("pool.*"). Deliberately NOT part of register_metrics(): the pool is
-  // global and cumulative across simulations, so recording its absolute
-  // counters into a timeline would make same-seed runs diverge (a second
-  // run starts with a warm freelist) and perturb the figure artifacts.
-  // Benches that study allocator behaviour opt in explicitly.
+  // thread-local and cumulative across the simulations a thread runs, so
+  // recording its absolute counters into a timeline would make same-seed
+  // runs diverge (a second run starts with a warm freelist) and perturb the
+  // figure artifacts. Benches that study allocator behaviour opt in
+  // explicitly, and must sample from the registering thread.
   static void register_pool_metrics(telemetry::MetricRegistry& registry);
 
   // The policy text installed on the target (for inspection/tests).

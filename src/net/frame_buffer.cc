@@ -26,7 +26,14 @@ BufferPool::~BufferPool() {
 }
 
 BufferPool& BufferPool::instance() {
-  static BufferPool pool;
+  // Thread-local, not process-global: the parallel sweep runner
+  // (core/runner.h) executes independent simulations on worker threads, and
+  // a shared pool would turn every frame acquisition/release into a data
+  // race. Each worker gets its own pool; buffers never migrate between
+  // threads because a simulation (and everything it allocates) lives and
+  // dies on the thread that runs it. Within one thread the zero-copy flood
+  // path is exactly as allocation-free as before.
+  thread_local BufferPool pool;
   return pool;
 }
 

@@ -18,8 +18,11 @@
 // to ask pays for one parse, every later layer — including other handles to
 // the same buffer on a broadcast — reads the cache.
 //
-// The simulation is single-threaded; refcounts and pool state are plain
-// integers on purpose.
+// Threading: one simulation runs entirely on one thread, and the default
+// pool is thread-local (one per worker of the parallel sweep runner), so a
+// buffer is only ever touched by the thread that acquired it. Refcounts and
+// pool state are therefore plain integers on purpose — no atomics on the
+// per-frame hot path. Do not hand FrameBufferRefs across threads.
 #pragma once
 
 #include <array>
@@ -146,7 +149,8 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Process-wide default pool (the simulation is single-threaded). Packets
+  // This thread's default pool (thread-local: each sweep-runner worker owns
+  // one, so concurrent simulations never share pool state). Packets
   // constructed without an explicit pool draw from here.
   static BufferPool& instance();
 

@@ -1,6 +1,7 @@
 #include "stack/tcp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "net/checksum.h"
@@ -31,9 +32,33 @@ const char* to_string(TcpState state) {
 
 // ---------------------------------------------------------------- connection
 
+namespace {
+// Atomic because sweep-runner workers create and destroy connections on
+// several threads at once; the counter is diagnostic only.
+std::atomic<std::int64_t> g_live_connections{0};
+}  // namespace
+
 TcpConnection::TcpConnection(TcpLayer& layer, const net::FiveTuple& key,
                              TcpConfig config)
-    : layer_(layer), key_(key), cfg_(config) {}
+    : layer_(layer), key_(key), cfg_(config) {
+  g_live_connections.fetch_add(1, std::memory_order_relaxed);
+}
+
+TcpConnection::~TcpConnection() {
+  g_live_connections.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::int64_t TcpConnection::live_instances() {
+  return g_live_connections.load(std::memory_order_relaxed);
+}
+
+void TcpConnection::reset_callbacks() {
+  on_connected = nullptr;
+  on_data = nullptr;
+  on_peer_closed = nullptr;
+  on_closed = nullptr;
+  on_send_space = nullptr;
+}
 
 std::size_t TcpConnection::unsent_bytes() const {
   const std::uint32_t data_end =
@@ -635,6 +660,10 @@ void TcpConnection::to_closed(bool reset) {
   layer_.remove(key_);
   (void)reset;
   if (on_closed) on_closed();
+  // The callbacks frequently capture this connection's own shared_ptr; drop
+  // them now that the connection is dead so the self-cycle cannot outlive
+  // the last external reference.
+  reset_callbacks();
 }
 
 // -------------------------------------------------------------------- layer
@@ -794,6 +823,15 @@ void accumulate(TcpConnectionStats& into, const TcpConnectionStats& from) {
   into.fast_retransmits += from.fast_retransmits;
 }
 }  // namespace
+
+TcpLayer::~TcpLayer() {
+  // Connections still alive at teardown (flooded experiments routinely end
+  // with established or half-open connections) hold application callbacks
+  // that may capture their own shared_ptr. Clear them so erasing the map —
+  // or the application dropping its handle afterwards — actually frees the
+  // connection.
+  for (auto& [key, conn] : connections_) conn->reset_callbacks();
+}
 
 void TcpLayer::remove(const net::FiveTuple& key) {
   auto it = connections_.find(key);

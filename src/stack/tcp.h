@@ -88,11 +88,27 @@ struct TcpConnectionStats {
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  public:
   // --- application callbacks (all optional) ---
+  // Applications routinely capture the connection's own shared_ptr in these
+  // (e.g. `conn->on_peer_closed = [conn] { conn->close(); }`), which forms a
+  // self-cycle. The stack breaks it: to_closed() clears every callback after
+  // firing on_closed, and ~TcpLayer() clears them on connections still alive
+  // at teardown, so the last external shared_ptr going away always frees the
+  // connection (LeakSanitizer runs with detect_leaks=1 on this basis).
   std::function<void()> on_connected;
   std::function<void(std::span<const std::uint8_t>)> on_data;
   std::function<void()> on_peer_closed;  // FIN received (EOF)
   std::function<void()> on_closed;       // connection fully gone (incl. RST)
   std::function<void()> on_send_space;   // send buffer has room again
+
+  ~TcpConnection();
+
+  // Drops all five application callbacks (and any shared_ptrs they captured).
+  void reset_callbacks();
+
+  // Live TcpConnection objects in this process, across all threads — the
+  // ownership-cycle regression tests assert this returns to zero once every
+  // stack and application handle is gone.
+  static std::int64_t live_instances();
 
   TcpState state() const { return state_; }
   // Local-perspective tuple (src = this host).
@@ -235,6 +251,9 @@ class TcpListener {
 class TcpLayer {
  public:
   explicit TcpLayer(Host& host) : host_(host) {}
+  // Breaks application-callback self-cycles on connections still alive at
+  // teardown (see TcpConnection callback comment).
+  ~TcpLayer();
 
   void handle_segment(const net::FrameView& v);
 

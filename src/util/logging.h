@@ -6,6 +6,7 @@
 // process-wide diagnostics, not simulation state.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -20,9 +21,9 @@ class Logger {
     return logger;
   }
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void logf(LogLevel level, const char* file, int line, const char* fmt, ...)
       __attribute__((format(printf, 5, 6))) {
@@ -48,7 +49,10 @@ class Logger {
     return "?";
   }
 
-  LogLevel level_ = LogLevel::kWarn;
+  // Atomic so sweep-runner worker threads can consult (or a test can set)
+  // the level while others log; the sink itself relies on stderr's own
+  // per-call locking.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
 };
 
 }  // namespace barb

@@ -1,0 +1,234 @@
+// SweepRunner: the determinism contract (artifacts byte-identical for any
+// worker count), completion-order independence, exception isolation, and
+// per-point seed/RNG independence.
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "telemetry/artifact.h"
+
+namespace barb::core {
+namespace {
+
+// A miniature "experiment point": its own Simulation, events, and RNG draws,
+// like the real measurement functions but cheap enough to sweep many times.
+double mini_experiment(std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  double acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule(sim::Duration::milliseconds(i + 1),
+                 [&] { acc += sim.rng().uniform_real(); });
+  }
+  sim.run_for(sim::Duration::seconds(1));
+  return acc;
+}
+
+std::string sweep_artifact_json(int jobs, std::uint64_t base_seed,
+                                std::size_t points) {
+  SweepRunner::Options ro;
+  ro.jobs = jobs;
+  ro.base_seed = base_seed;
+  SweepRunner runner(ro);
+  std::vector<std::function<double(const SweepPoint&)>> tasks;
+  for (std::size_t i = 0; i < points; ++i) {
+    tasks.push_back([](const SweepPoint& p) { return mini_experiment(p.seed); });
+  }
+  const auto results = runner.run(std::move(tasks));
+  telemetry::BenchArtifact artifact("sweep_runner_test");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    artifact.add_point("mini", static_cast<double>(i), results[i]);
+  }
+  return artifact.to_json();
+}
+
+TEST(DerivePointSeed, StableAcrossCallsAndDistinctAcrossInputs) {
+  // Stability: recorded artifacts depend on this mapping never changing.
+  EXPECT_EQ(derive_point_seed(1, 0), derive_point_seed(1, 0));
+
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {1ull, 2ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      seeds.insert(derive_point_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3u * 64u);  // no collisions across bases or indices
+  EXPECT_NE(derive_point_seed(1, 0), 0u);
+}
+
+TEST(DerivePointSeed, NeighbouringIndicesYieldIndependentStreams) {
+  // First draws of adjacent points' RNGs must all differ — a point's stream
+  // is not a shifted copy of its neighbour's.
+  std::set<std::uint64_t> first_draws;
+  constexpr int kPoints = 32;
+  for (std::uint64_t i = 0; i < kPoints; ++i) {
+    sim::Random rng(derive_point_seed(7, i));
+    first_draws.insert(rng.next_u64());
+  }
+  EXPECT_EQ(first_draws.size(), kPoints);
+
+  // And a point's draws never collide with the next point's first 4 draws.
+  sim::Random a(derive_point_seed(7, 0));
+  sim::Random b(derive_point_seed(7, 1));
+  std::set<std::uint64_t> a_draws, b_draws;
+  for (int i = 0; i < 4; ++i) {
+    a_draws.insert(a.next_u64());
+    b_draws.insert(b.next_u64());
+  }
+  for (auto d : a_draws) EXPECT_EQ(b_draws.count(d), 0u);
+}
+
+TEST(ResolveJobs, ClampsAndExpandsZero) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_EQ(resolve_jobs(-3), 1);
+  EXPECT_GE(resolve_jobs(0), 1);  // hardware_concurrency, at least 1
+}
+
+TEST(JobsFromCli, ParsesFlagFormsAndDefaults) {
+  {
+    const char* argv[] = {"bench", "--jobs", "4"};
+    EXPECT_EQ(jobs_from_cli(3, const_cast<char**>(argv)), 4);
+  }
+  {
+    const char* argv[] = {"bench", "--jobs=8"};
+    EXPECT_EQ(jobs_from_cli(2, const_cast<char**>(argv)), 8);
+  }
+  {
+    const char* argv[] = {"bench"};
+    unsetenv("BARB_JOBS");
+    EXPECT_EQ(jobs_from_cli(1, const_cast<char**>(argv)), 1);
+    setenv("BARB_JOBS", "3", 1);
+    EXPECT_EQ(jobs_from_cli(1, const_cast<char**>(argv)), 3);
+    unsetenv("BARB_JOBS");
+  }
+  {
+    // The flag wins over the environment.
+    const char* argv[] = {"bench", "--jobs", "2"};
+    setenv("BARB_JOBS", "9", 1);
+    EXPECT_EQ(jobs_from_cli(3, const_cast<char**>(argv)), 2);
+    unsetenv("BARB_JOBS");
+  }
+}
+
+TEST(SweepRunner, ArtifactJsonByteIdenticalAcrossWorkerCounts) {
+  const std::string serial = sweep_artifact_json(1, 99, 24);
+  EXPECT_EQ(sweep_artifact_json(2, 99, 24), serial);
+  EXPECT_EQ(sweep_artifact_json(8, 99, 24), serial);
+  // A different base seed must give a different artifact (the comparison
+  // above is not vacuous).
+  EXPECT_NE(sweep_artifact_json(1, 100, 24), serial);
+}
+
+TEST(SweepRunner, ResultsLandInEnqueueSlotsRegardlessOfCompletionOrder) {
+  // Early indices sleep longest, so under parallel execution high indices
+  // complete first — slots must still match enqueue order.
+  constexpr std::size_t kPoints = 12;
+  SweepRunner::Options ro;
+  ro.jobs = 8;
+  ro.base_seed = 5;
+  SweepRunner runner(ro);
+  std::vector<std::function<std::size_t(const SweepPoint&)>> tasks;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    tasks.push_back([](const SweepPoint& p) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds((12 - p.index) * 2));
+      return p.index * 10;
+    });
+  }
+  const auto results = runner.run(std::move(tasks));
+  ASSERT_EQ(results.size(), kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) EXPECT_EQ(results[i], i * 10);
+}
+
+TEST(SweepRunner, PointsSeeTheirDerivedSeed) {
+  SweepRunner::Options ro;
+  ro.jobs = 4;
+  ro.base_seed = 1234;
+  SweepRunner runner(ro);
+  const auto seeds = runner.run_indexed<std::uint64_t>(
+      16, [](const SweepPoint& p) { return p.seed; });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], derive_point_seed(1234, i));
+  }
+}
+
+TEST(SweepRunner, ExceptionInOnePointDoesNotStopTheOthers) {
+  for (int jobs : {1, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    SweepRunner::Options ro;
+    ro.jobs = jobs;
+    SweepRunner runner(ro);
+    std::atomic<int> completed{0};
+    std::vector<std::function<int(const SweepPoint&)>> tasks;
+    for (std::size_t i = 0; i < 10; ++i) {
+      tasks.push_back([&completed](const SweepPoint& p) {
+        if (p.index == 3) throw std::runtime_error("point 3 failed");
+        completed.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(p.index);
+      });
+    }
+    EXPECT_THROW(runner.run(std::move(tasks)), std::runtime_error);
+    EXPECT_EQ(completed.load(), 9);  // every other point still ran
+  }
+}
+
+TEST(SweepRunner, LowestIndexExceptionWinsDeterministically) {
+  // Two failing points; the rethrown exception is index 2's even when index
+  // 6 fails first in wall-clock terms.
+  SweepRunner::Options ro;
+  ro.jobs = 8;
+  SweepRunner runner(ro);
+  std::vector<std::function<int(const SweepPoint&)>> tasks;
+  for (std::size_t i = 0; i < 8; ++i) {
+    tasks.push_back([](const SweepPoint& p) -> int {
+      if (p.index == 6) throw std::runtime_error("index 6");
+      if (p.index == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        throw std::runtime_error("index 2");
+      }
+      return 0;
+    });
+  }
+  try {
+    runner.run(std::move(tasks));
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 2");
+  }
+}
+
+TEST(SweepRunner, SingleJobRunsInlineInIndexOrder) {
+  SweepRunner runner;  // defaults: jobs=1
+  const auto main_id = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  runner.for_each_point(6, [&](const SweepPoint& p) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    order.push_back(p.index);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SweepRunner, MoreJobsThanPointsIsFine) {
+  SweepRunner::Options ro;
+  ro.jobs = 16;
+  SweepRunner runner(ro);
+  const auto results =
+      runner.run_indexed<int>(3, [](const SweepPoint& p) {
+        return static_cast<int>(p.index) + 1;
+      });
+  EXPECT_EQ(results, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace barb::core

@@ -1,0 +1,123 @@
+// BufferPool threading model: the default pool is thread-local (one pool per
+// sweep-runner worker), so concurrent churn on BufferPool::instance() from
+// many threads must never share state — no data races (this test is the
+// TSan target, see scripts/ci_tsan.sh) and per-thread stats that balance
+// exactly as if each thread ran alone.
+#include "net/frame_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace barb::net {
+namespace {
+
+std::vector<std::uint8_t> filled(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed + i);
+  return v;
+}
+
+TEST(BufferPoolThreading, DefaultPoolIsPerThread) {
+  BufferPool* main_pool = &BufferPool::instance();
+  std::vector<BufferPool*> seen(4, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&seen, t] { seen[t] = &BufferPool::instance(); });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<BufferPool*> distinct(seen.begin(), seen.end());
+  distinct.insert(main_pool);
+  EXPECT_EQ(distinct.size(), 5u);  // every thread got its own pool
+}
+
+TEST(BufferPoolThreading, InstanceIsStableWithinAThread) {
+  EXPECT_EQ(&BufferPool::instance(), &BufferPool::instance());
+}
+
+// N threads churning acquire/clone/release/adopt on their own thread-local
+// pool. With plain (non-atomic) refcounts this is only correct because the
+// pools are disjoint — TSan proves it.
+TEST(BufferPoolThreading, ConcurrentChurnOnThreadLocalPools) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  std::vector<BufferPoolStats> stats(kThreads);
+  std::vector<std::size_t> leaked(kThreads, 999);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      BufferPool& pool = BufferPool::instance();
+      sim::Random rng(1000 + static_cast<std::uint64_t>(t));
+      std::vector<FrameBufferRef> held;
+      for (int round = 0; round < kRounds; ++round) {
+        switch (rng.uniform(4)) {
+          case 0:  // pooled create, sometimes cloned
+            held.push_back(pool.create(
+                filled(60 + rng.uniform(1400), static_cast<std::uint8_t>(t))));
+            if (rng.bernoulli(0.5)) held.push_back(held.back());
+            break;
+          case 1:  // adopt (heap-class, freed on release)
+            held.push_back(pool.adopt(
+                filled(1 + rng.uniform(2048), static_cast<std::uint8_t>(t))));
+            break;
+          case 2:  // builder path
+            {
+              auto builder = pool.build(100);
+              builder.buffer().assign(100, static_cast<std::uint8_t>(round));
+              held.push_back(builder.seal());
+            }
+            break;
+          default:  // release some
+            if (held.size() > 4) held.resize(held.size() / 2);
+            break;
+        }
+      }
+      held.clear();
+      stats[t] = pool.stats();
+      leaked[t] = pool.live_buffers();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE("thread " + std::to_string(t));
+    EXPECT_EQ(leaked[t], 0u);  // every ref released back
+    // Acquisition accounting balances per thread: nothing leaked across
+    // pools, nothing double-counted.
+    EXPECT_EQ(stats[t].acquisitions, stats[t].pool_hits + stats[t].pool_misses +
+                                         stats[t].heap_fallbacks +
+                                         stats[t].adopted);
+    // Every allocation was eventually recycled or freed within its own pool.
+    EXPECT_EQ(stats[t].acquisitions, stats[t].recycled + stats[t].heap_frees);
+    EXPECT_GT(stats[t].acquisitions, 0u);
+  }
+}
+
+// The same churn against a single explicit pool, one thread at a time, must
+// also balance — the invariant above is about the pool, not the threading.
+TEST(BufferPoolThreading, ExplicitPoolChurnBalances) {
+  BufferPool pool;
+  sim::Random rng(7);
+  std::vector<FrameBufferRef> held;
+  for (int round = 0; round < 400; ++round) {
+    if (rng.bernoulli(0.6)) {
+      held.push_back(pool.create(filled(60 + rng.uniform(1400), 0x5a)));
+    } else if (held.size() > 2) {
+      held.resize(held.size() / 2);
+    }
+  }
+  held.clear();
+  EXPECT_EQ(pool.live_buffers(), 0u);
+  EXPECT_EQ(pool.stats().acquisitions,
+            pool.stats().recycled + pool.stats().heap_frees);
+}
+
+}  // namespace
+}  // namespace barb::net

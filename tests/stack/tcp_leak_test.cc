@@ -1,0 +1,98 @@
+// Regression: TcpConnection callback ownership cycles. A connection whose
+// std::function callbacks capture its own shared_ptr (the natural style for
+// application code: `conn->on_data = [conn](...) {...}`) forms a refcount
+// cycle that outlives the simulation unless the stack breaks it — to_closed()
+// clears the callbacks after on_closed fires, and ~TcpLayer() clears them on
+// connections that never closed. Counted via TcpConnection::live_instances(),
+// and caught for real by LeakSanitizer (scripts/ci_sanitize.sh runs with
+// detect_leaks=1).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stack/tcp.h"
+#include "testutil/fixtures.h"
+
+namespace barb::stack {
+namespace {
+
+using testutil::TwoHosts;
+
+TEST(TcpLeak, SelfCapturingCallbacksReleasedOnClose) {
+  const auto before = TcpConnection::live_instances();
+  {
+    sim::Simulation sim;
+    TwoHosts net(sim);
+
+    net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection> conn) {
+      // Server handler captures its own connection in every callback — the
+      // cycle under test.
+      conn->on_data = [conn](std::span<const std::uint8_t> data) {
+        conn->send(std::vector<std::uint8_t>(data.begin(), data.end()));
+      };
+      conn->on_peer_closed = [conn] { conn->close(); };
+    });
+
+    auto client = net.a->tcp_connect(net.b->ip(), 80);
+    ASSERT_NE(client, nullptr);
+    client->on_connected = [client] {
+      client->send(std::vector<std::uint8_t>{'h', 'i'});
+      client->close();
+    };
+    client->on_closed = [client] { (void)client; };
+    client.reset();  // only the callbacks and the layer keep it alive now
+
+    sim.run();
+  }
+  // Both endpoints (and the accepted server connection) are gone.
+  EXPECT_EQ(TcpConnection::live_instances(), before);
+}
+
+TEST(TcpLeak, ConnectionsAliveAtTeardownAreReleased) {
+  const auto before = TcpConnection::live_instances();
+  {
+    sim::Simulation sim;
+    TwoHosts net(sim);
+
+    // Established connections that are never closed: ~TcpLayer() must break
+    // their callback cycles at teardown.
+    net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection> conn) {
+      conn->on_data = [conn](std::span<const std::uint8_t>) {};
+      conn->on_peer_closed = [conn] { conn->close(); };
+    });
+    for (int i = 0; i < 3; ++i) {
+      auto client = net.a->tcp_connect(net.b->ip(), 80);
+      ASSERT_NE(client, nullptr);
+      client->on_connected = [client] {
+        client->send(std::vector<std::uint8_t>{'x'});
+      };
+    }
+    sim.run_for(sim::Duration::seconds(2));
+    EXPECT_GT(TcpConnection::live_instances(), before);  // all still live here
+  }
+  EXPECT_EQ(TcpConnection::live_instances(), before);
+}
+
+TEST(TcpLeak, ResetCallbacksDropsCapturedState) {
+  const auto before = TcpConnection::live_instances();
+  std::weak_ptr<TcpConnection> observer;
+  {
+    sim::Simulation sim;
+    TwoHosts net(sim);
+    net.b->tcp_listen(80, [](std::shared_ptr<TcpConnection>) {});
+    auto client = net.a->tcp_connect(net.b->ip(), 80);
+    ASSERT_NE(client, nullptr);
+    observer = client;
+    client->on_data = [client](std::span<const std::uint8_t>) {};
+    client->reset_callbacks();
+    EXPECT_EQ(client->on_data, nullptr);
+    sim.run();
+  }
+  EXPECT_TRUE(observer.expired());
+  EXPECT_EQ(TcpConnection::live_instances(), before);
+}
+
+}  // namespace
+}  // namespace barb::stack
