@@ -15,6 +15,7 @@ void FloodGenerator::start() {
   if (running_) return;
   running_ = true;
   send_one();
+  arm_timer();
 }
 
 void FloodGenerator::stop() {
@@ -22,13 +23,28 @@ void FloodGenerator::stop() {
   timer_.cancel();
 }
 
+void FloodGenerator::set_rate(double pps) {
+  BARB_ASSERT(pps > 0);
+  config_.rate_pps = pps;
+  if (running_) {
+    // Re-pace from now: the next frame goes out one new-rate interval out.
+    timer_.cancel();
+    arm_timer();
+  }
+}
+
+void FloodGenerator::arm_timer() {
+  // Fixed-interval pacing, like a busy-loop generator hitting its target
+  // rate. The periodic recurrence reuses one slab record for the whole
+  // flood instead of allocating a fresh timer per frame.
+  timer_ = attacker_.simulation().schedule_every(
+      sim::Duration::from_seconds(1.0 / config_.rate_pps), [this] { send_one(); });
+}
+
 void FloodGenerator::send_one() {
   if (!running_) return;
   attacker_.nic().transmit(craft_packet());
   ++packets_sent_;
-  // Fixed-interval pacing, like a busy-loop generator hitting its target rate.
-  timer_ = attacker_.simulation().schedule(
-      sim::Duration::from_seconds(1.0 / config_.rate_pps), [this] { send_one(); });
 }
 
 net::Packet FloodGenerator::craft_packet() {

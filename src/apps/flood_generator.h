@@ -47,11 +47,14 @@ class FloodGenerator {
   void stop();
   bool running() const { return running_; }
 
-  void set_rate(double pps) { config_.rate_pps = pps; }
+  // Changes the flood rate. While running, the pacing timer re-arms from the
+  // current instant at the new interval.
+  void set_rate(double pps);
   const FloodConfig& config() const { return config_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
 
  private:
+  void arm_timer();
   void send_one();
   net::Packet craft_packet();
 

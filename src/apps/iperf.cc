@@ -122,6 +122,9 @@ void IperfClient::run(Mode mode, sim::Duration duration,
   started_ = host_.simulation().now();
   udp_interval_s_ = (udp_payload_ + 46.0) * 8.0 / udp_rate_bps;  // incl. headers
   send_next_udp();
+  // Token-paced sender loop: one periodic slab record for the whole run.
+  udp_timer_ = host_.simulation().schedule_every(
+      sim::Duration::from_seconds(udp_interval_s_), [this] { send_next_udp(); });
   end_timer_ = host_.simulation().schedule(duration_, [this] {
     udp_timer_.cancel();
     report_retries_left_ = 10;
@@ -178,8 +181,6 @@ void IperfClient::send_next_udp() {
   std::vector<std::uint8_t> payload(udp_payload_, 0x5a);
   udp_->send_to(server_ip_, port_, payload);
   udp_sent_bytes_ += payload.size();
-  udp_timer_ = host_.simulation().schedule(sim::Duration::from_seconds(udp_interval_s_),
-                                           [this] { send_next_udp(); });
 }
 
 void IperfClient::request_udp_report() {

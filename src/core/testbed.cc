@@ -279,6 +279,33 @@ void Testbed::register_pool_metrics(telemetry::MetricRegistry& registry) {
   });
 }
 
+void Testbed::register_scheduler_metrics(telemetry::MetricRegistry& registry) {
+  // Event-engine internals. Samplers read the live scheduler, so they are
+  // only valid while the Simulation outlives the registry's sampling.
+  auto& sched = sim_.scheduler();
+  registry.gauge("sched.pending", "", [&sched] {
+    return static_cast<double>(sched.stats().pending);
+  });
+  registry.gauge("sched.tombstones", "", [&sched] {
+    return static_cast<double>(sched.stats().tombstones);
+  });
+  registry.gauge("sched.slab_records", "", [&sched] {
+    return static_cast<double>(sched.stats().slab_records);
+  });
+  registry.counter_fn("sched.events_executed", "", [&sched] {
+    return static_cast<double>(sched.stats().events_executed);
+  });
+  registry.counter_fn("sched.cascades", "", [&sched] {
+    return static_cast<double>(sched.stats().cascades);
+  });
+  registry.counter_fn("sched.overflow_migrations", "", [&sched] {
+    return static_cast<double>(sched.stats().overflow_migrations);
+  });
+  registry.counter_fn("sched.compactions", "", [&sched] {
+    return static_cast<double>(sched.stats().compactions);
+  });
+}
+
 void Testbed::settle() {
   if (!config_.use_policy_server || target_fw_ == nullptr) return;
   const std::uint64_t want_target = policy_server_->policy_version(addr_.target);

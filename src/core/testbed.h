@@ -114,6 +114,14 @@ class Testbed {
   // explicitly, and must sample from the registering thread.
   static void register_pool_metrics(telemetry::MetricRegistry& registry);
 
+  // Registers the event engine's counters and gauges ("sched.*": live
+  // pending events, overflow tombstones, slab capacity, cascade/migration/
+  // compaction counts). Kept out of register_metrics() for the same reason
+  // as pool.*: engine-internal counters do not belong in figure timelines,
+  // and keeping them opt-in preserves byte-identical artifacts across
+  // scheduler backends (BARB_SCHED=heap vs the wheel).
+  void register_scheduler_metrics(telemetry::MetricRegistry& registry);
+
   // The policy text installed on the target (for inspection/tests).
   const std::string& target_policy_text() const { return target_policy_; }
 

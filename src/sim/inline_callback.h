@@ -1,0 +1,122 @@
+// InlineCallback: a move-only `void()` callable with small-buffer storage.
+//
+// The event engine schedules millions of callbacks per simulated second, and
+// std::function heap-allocates any capture larger than its (implementation-
+// defined, ~16-byte) internal buffer. InlineCallback sizes its buffer so that
+// every capture the simulator actually schedules — link deliveries carrying a
+// Packet handle, firewall service completions, TCP timers holding a weak_ptr,
+// the HTTP server's `[this, conn, line]` — fits inline, making steady-state
+// event scheduling allocation-free (the microbench_scheduler ctest gates
+// this at exactly zero).
+//
+// Callables that are too large, over-aligned, or not nothrow-movable fall
+// back to a single heap allocation, so correctness never depends on fitting.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace barb::sim {
+
+class InlineCallback {
+ public:
+  // 56 bytes covers the largest capture in the tree (8-byte this + 16-byte
+  // shared_ptr + 32-byte std::string); with the ops pointer the whole object
+  // is 64 bytes — one cache line inside the scheduler's event record.
+  static constexpr std::size_t kInlineSize = 56;
+  static constexpr std::size_t kInlineAlign = 16;
+
+  // True when F is stored in the inline buffer (no heap allocation).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (stores_inline<F>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src, then destroys src's payload.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); }};
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(InlineCallback) == 64,
+              "InlineCallback should occupy exactly one cache line");
+
+}  // namespace barb::sim

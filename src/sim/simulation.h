@@ -34,6 +34,13 @@ class Simulation {
     return scheduler_.schedule_at(at, std::move(fn));
   }
 
+  // Schedules `fn` every `period`, first firing one period from now. The
+  // recurrence reuses a single slab record (no per-tick allocation); cancel
+  // the returned handle to stop it.
+  EventHandle schedule_every(Duration period, Scheduler::Callback fn) {
+    return scheduler_.schedule_every(now() + period, period, std::move(fn));
+  }
+
   // Runs until the event queue drains or `stop()` is called.
   void run() {
     stopped_ = false;

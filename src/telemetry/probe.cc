@@ -23,6 +23,8 @@ void TimeSeriesProbe::start() {
   if (running_) return;
   running_ = true;
   sample();
+  // One slab record carries the whole recurrence; stop() cancels it.
+  next_ = sim_.schedule_every(interval_, [this] { sample(); });
 }
 
 void TimeSeriesProbe::stop() {
@@ -44,9 +46,6 @@ void TimeSeriesProbe::sample() {
       recording_.series.push_back(std::move(s));
     }
     recording_.series[it->second].values.push_back(entry.sample());
-  });
-  next_ = sim_.schedule(interval_, [this] {
-    if (running_) sample();
   });
 }
 

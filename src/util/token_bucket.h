@@ -3,6 +3,12 @@
 // Used by the flood generator (packets/s pacing, like the paper's custom
 // generator) and by the ICMP error rate limiter. Tokens accrue continuously
 // in simulated time; the bucket never goes negative.
+//
+// Note: this class is passive — it holds no timer and schedules nothing.
+// Callers that pace a recurring send loop off a bucket should drive it from
+// a Simulation::schedule_every recurrence (see the iperf UDP sender and
+// FloodGenerator), which reuses one scheduler slab record for the whole
+// loop instead of allocating a fresh timer per tick.
 #pragma once
 
 #include <algorithm>

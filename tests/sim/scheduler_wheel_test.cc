@@ -1,0 +1,331 @@
+// Wheel-scheduler semantics: the hierarchical timing wheel must be
+// observationally identical to the binary-heap engine. Covers the contract
+// corners — same-timestamp FIFO across wheel-cascade and overflow
+// boundaries, schedule-from-within-callback, cancel-during-dispatch,
+// cancel-after-fire, periodic events — plus a randomized differential test
+// that drives both backends through the same event trace and requires
+// identical dispatch sequences.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "sim/simulation.h"
+
+namespace barb::sim {
+namespace {
+
+constexpr auto kWheel = Scheduler::Backend::kWheel;
+constexpr auto kHeap = Scheduler::Backend::kHeap;
+
+TEST(WheelScheduler, SelectsBackend) {
+  Scheduler wheel(kWheel);
+  Scheduler heap(kHeap);
+  EXPECT_EQ(wheel.backend(), kWheel);
+  EXPECT_EQ(heap.backend(), kHeap);
+}
+
+// Same-instant events must fire in scheduling order even when the instant
+// sits beyond several cascade boundaries at scheduling time, so the events
+// ride a high wheel level (or the overflow heap) and are redistributed one
+// or more times before dispatch.
+TEST(WheelScheduler, SameTimeFifoAcrossCascadeBoundaries) {
+  for (std::int64_t target : {
+           (std::int64_t{1} << 6) + 3,    // level 1
+           (std::int64_t{1} << 12) + 3,   // level 2
+           (std::int64_t{1} << 18) + 3,   // level 3
+           (std::int64_t{1} << 24) + 3,   // overflow epoch 1
+           (std::int64_t{1} << 30) + 3,   // deep overflow
+       }) {
+    Scheduler s(kWheel);
+    std::vector<int> order;
+    // Interleave with earlier traffic so the cascade machinery actually
+    // runs before the target instant.
+    s.schedule_at(TimePoint::from_ns(1), [&] { order.push_back(-1); });
+    s.schedule_at(TimePoint::from_ns(target / 2), [&] { order.push_back(-2); });
+    for (int i = 0; i < 8; ++i) {
+      s.schedule_at(TimePoint::from_ns(target), [&order, i] { order.push_back(i); });
+    }
+    while (s.run_one()) {
+    }
+    ASSERT_EQ(order.size(), 10u) << "target=" << target;
+    EXPECT_EQ(order[0], -1);
+    EXPECT_EQ(order[1], -2);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i) + 2], i);
+  }
+}
+
+// An event scheduled from inside a callback for the very instant being
+// dispatched runs after everything already queued for that instant.
+TEST(WheelScheduler, ScheduleFromWithinCallbackAtSameInstant) {
+  Scheduler s(kWheel);
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(100);
+  s.schedule_at(t, [&] {
+    order.push_back(0);
+    s.schedule_at(t, [&] { order.push_back(2); });
+  });
+  s.schedule_at(t, [&] { order.push_back(1); });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Regression: an event parked at a high level whose slot the cursor has
+// caught up to (via advance_to landing inside its block) must still dispatch
+// before later events that link at lower levels inside the same block. The
+// lowest-level-first scan would otherwise dispatch around it forever and
+// strand it behind the cursor.
+TEST(WheelScheduler, CursorCatchUpSlotStillDispatchesInOrder) {
+  Scheduler s(kWheel);
+  std::vector<int> order;
+  s.schedule_at(TimePoint::from_ns(788606), [&] { order.push_back(0); });
+  // run_until-style clock advance into the level-3 block holding the event.
+  s.advance_to(TimePoint::from_ns(786500));
+  // Later event that links at a lower wheel level inside the same block.
+  s.schedule_at(TimePoint::from_ns(793408), [&] { order.push_back(1); });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(s.now().ns(), 793408);
+}
+
+// Regression: when a cascade drops an early-scheduled record into an instant
+// that a later-scheduled record joined directly, the earlier sequence number
+// must still fire first.
+TEST(WheelScheduler, SameInstantFifoWhenCascadeJoinsLateLink) {
+  Scheduler s(kWheel);
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(788606);
+  s.schedule_at(t, [&] { order.push_back(0); });  // rides level 3
+  s.advance_to(TimePoint::from_ns(786500));       // clock enters the block
+  s.schedule_at(t, [&] { order.push_back(1); });  // links at a lower level
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(WheelScheduler, CancelDuringDispatchOfSameInstant) {
+  Scheduler s(kWheel);
+  std::vector<int> order;
+  const auto t = TimePoint::from_ns(7);
+  EventHandle victim;
+  s.schedule_at(t, [&] {
+    order.push_back(0);
+    victim.cancel();  // same-instant later event must not run
+  });
+  victim = s.schedule_at(t, [&] { order.push_back(1); });
+  s.schedule_at(t, [&] { order.push_back(2); });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(WheelScheduler, CancelAfterFireIsNoop) {
+  Scheduler s(kWheel);
+  auto h = s.schedule_at(TimePoint::from_ns(1), [] {});
+  while (s.run_one()) {
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or disturb anything
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+// A handle whose record was recycled for an unrelated event must stay inert:
+// cancelling it must not kill the new occupant.
+TEST(WheelScheduler, StaleHandleDoesNotCancelRecycledRecord) {
+  Scheduler s(kWheel);
+  auto stale = s.schedule_at(TimePoint::from_ns(1), [] {});
+  while (s.run_one()) {
+  }
+  bool ran = false;
+  auto fresh = s.schedule_at(TimePoint::from_ns(10), [&] { ran = true; });
+  stale.cancel();
+  EXPECT_TRUE(fresh.pending());
+  while (s.run_one()) {
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(WheelScheduler, CancelledOverflowEventsCompact) {
+  Scheduler s(kWheel);
+  std::vector<EventHandle> handles;
+  const auto far = TimePoint::from_ns(std::int64_t{1} << 30);
+  handles.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(s.schedule_at(far + Duration::nanoseconds(i), [] {}));
+  }
+  EXPECT_EQ(s.pending_count(), 1000u);
+  for (auto& h : handles) h.cancel();
+  EXPECT_EQ(s.pending_count(), 0u);
+  // Compaction must have reaped the bulk of the tombstones rather than
+  // letting all 1000 linger until dispatch.
+  EXPECT_LT(s.tombstone_count(), 128u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WheelScheduler, PeriodicEventReschedulesWithoutNewRecord) {
+  Scheduler s(kWheel);
+  int fires = 0;
+  EventHandle h = s.schedule_every(TimePoint::from_ns(10), Duration::nanoseconds(10),
+                                   [&] { ++fires; });
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(s.run_one());
+  EXPECT_EQ(fires, 50);
+  EXPECT_EQ(s.now().ns(), 500);
+  EXPECT_TRUE(h.pending());
+  // One periodic recurrence occupies exactly one slab record.
+  EXPECT_EQ(s.stats().slab_records, 128u);
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(s.run_one());
+  EXPECT_EQ(fires, 50);
+}
+
+TEST(WheelScheduler, PeriodicCancelFromOwnCallbackStopsRecurrence) {
+  Scheduler s(kWheel);
+  int fires = 0;
+  EventHandle h;
+  h = s.schedule_every(TimePoint::from_ns(5), Duration::nanoseconds(5), [&] {
+    if (++fires == 3) h.cancel();
+  });
+  while (s.run_one()) {
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(WheelScheduler, PendingCountExcludesTombstones) {
+  Scheduler s(kWheel);
+  auto near = s.schedule_at(TimePoint::from_ns(10), [] {});
+  auto far = s.schedule_at(TimePoint::from_ns(std::int64_t{1} << 30), [] {});
+  EXPECT_EQ(s.pending_count(), 2u);
+  EXPECT_EQ(s.tombstone_count(), 0u);
+  far.cancel();  // overflow-resident: becomes a tombstone
+  EXPECT_EQ(s.pending_count(), 1u);
+  EXPECT_EQ(s.tombstone_count(), 1u);
+  near.cancel();  // wheel-resident: reclaimed immediately
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test: run the same randomly generated event trace
+// through both backends and require identical dispatch sequences. Actions
+// recursively schedule more work, cancel pending events, and mix horizons so
+// traces cross wheel-cascade, epoch-migration, and overflow boundaries.
+
+struct TraceRunner {
+  explicit TraceRunner(Scheduler::Backend backend) : sched(backend) {}
+
+  Scheduler sched;
+  Random rng{12345};  // same stream in both runners
+  std::vector<std::uint64_t> dispatched;  // ids in dispatch order
+  std::vector<EventHandle> cancellable;
+  std::uint64_t next_id = 0;
+  int live_budget = 0;
+
+  Duration random_delay() {
+    // Mix of horizons: same-instant, sub-slot, cross-cascade, cross-epoch.
+    switch (rng.uniform(6)) {
+      case 0: return Duration::zero();
+      case 1: return Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(64)));
+      case 2: return Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(1 << 12)));
+      case 3: return Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(1 << 20)));
+      case 4: return Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(1 << 26)));
+      default:
+        return Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(1u << 30)));
+    }
+  }
+
+  void spawn_one() {
+    const std::uint64_t id = next_id++;
+    const auto at = sched.now() + random_delay();
+    auto h = sched.schedule_at(at, [this, id] { on_fire(id); });
+    if (rng.uniform(4) == 0) cancellable.push_back(h);
+  }
+
+  void on_fire(std::uint64_t id) {
+    dispatched.push_back(id);
+    // Recursively schedule 0-2 children while budget remains.
+    const int children = static_cast<int>(rng.uniform(3));
+    for (int i = 0; i < children && live_budget > 0; ++i, --live_budget) {
+      spawn_one();
+    }
+    // Occasionally cancel a previously remembered event.
+    if (!cancellable.empty() && rng.uniform(3) == 0) {
+      const auto idx = static_cast<std::size_t>(rng.uniform(
+          static_cast<std::uint32_t>(cancellable.size())));
+      cancellable[idx].cancel();
+      cancellable.erase(cancellable.begin() + static_cast<long>(idx));
+    }
+  }
+
+  void run(int seed_events, int budget) {
+    live_budget = budget;
+    for (int i = 0; i < seed_events; ++i) spawn_one();
+    while (sched.run_one()) {
+    }
+  }
+};
+
+TEST(WheelScheduler, DifferentialTraceMatchesHeapBackend) {
+  TraceRunner wheel(kWheel);
+  TraceRunner heap(kHeap);
+  wheel.run(/*seed_events=*/64, /*budget=*/5000);
+  heap.run(/*seed_events=*/64, /*budget=*/5000);
+  ASSERT_EQ(wheel.dispatched.size(), heap.dispatched.size());
+  for (std::size_t i = 0; i < wheel.dispatched.size(); ++i) {
+    ASSERT_EQ(wheel.dispatched[i], heap.dispatched[i]) << "diverged at index " << i;
+  }
+  EXPECT_EQ(wheel.sched.now(), heap.sched.now());
+  EXPECT_EQ(wheel.sched.events_executed(), heap.sched.events_executed());
+}
+
+// Same differential check through the Simulation wrapper's run_until, which
+// exercises next_event_time() + advance_to() epoch crossings.
+TEST(WheelScheduler, DifferentialRunUntilSlices) {
+  auto run_sliced = [](Scheduler::Backend backend) {
+    Scheduler s(backend);
+    Random rng(99);
+    std::vector<std::uint64_t> fired;
+    std::uint64_t id = 0;
+    std::function<void()> feeder = [&] {
+      for (int i = 0; i < 3; ++i) {
+        const auto delay =
+            Duration::nanoseconds(static_cast<std::int64_t>(rng.uniform(1u << 27)));
+        const std::uint64_t my = id++;
+        s.schedule_at(s.now() + delay, [&fired, my] { fired.push_back(my); });
+      }
+      if (id < 600) {
+        s.schedule_at(s.now() + Duration::nanoseconds(
+                                    static_cast<std::int64_t>(rng.uniform(1u << 22))),
+                      feeder);
+      }
+    };
+    s.schedule_at(TimePoint::from_ns(0), feeder);
+    // Advance in fixed slices like Simulation::run_for does, crossing many
+    // wheel epochs with the clock landing between events.
+    TimePoint until = TimePoint::origin();
+    for (int slice = 0; slice < 400; ++slice) {
+      until = until + Duration::microseconds(2500);
+      while (!s.empty() && s.next_event_time() <= until) s.run_one();
+      if (s.now() < until) s.advance_to(until);
+    }
+    while (s.run_one()) {
+    }
+    return fired;
+  };
+  const auto wheel = run_sliced(kWheel);
+  const auto heap = run_sliced(kHeap);
+  ASSERT_EQ(wheel.size(), heap.size());
+  for (std::size_t i = 0; i < wheel.size(); ++i) {
+    ASSERT_EQ(wheel[i], heap[i]) << "diverged at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace barb::sim
