@@ -1,5 +1,6 @@
 #include "core/testbed.h"
 
+#include "core/runner.h"
 #include "firewall/policy.h"
 #include "net/frame_buffer.h"
 #include "net/vpg_header.h"
@@ -85,6 +86,7 @@ std::string make_client_vpg_policy(const TestbedAddresses& addr) {
 Testbed::Testbed(sim::Simulation& sim, const TestbedConfig& config)
     : sim_(sim), config_(config) {
   build_hosts();
+  install_fault_injectors();
   install_policies();
 }
 
@@ -182,6 +184,30 @@ void Testbed::build_hosts() {
   }
 }
 
+void Testbed::install_fault_injectors() {
+  if (!config_.fault_profile || !config_.fault_profile->enabled()) return;
+  // Link order matches build_hosts(): policy, attacker, client, target.
+  static const char* kNames[] = {"policy", "attacker", "client", "target"};
+  for (std::size_t i = 0; i < links_.size() && i < 4; ++i) {
+    if (i == 0 && !config_.fault_policy_link) continue;
+    // Each direction gets an independent stream: port index 2i for the
+    // host-side transmitter, 2i+1 for the switch side. derive_point_seed is
+    // the frozen sweep mix, salted so the streams never collide with the
+    // per-point simulation seeds themselves.
+    constexpr std::uint64_t kFaultSalt = 0xfa17fa17fa17fa17ULL;
+    for (int side = 0; side < 2; ++side) {
+      auto injector = std::make_unique<link::FaultInjector>(
+          *config_.fault_profile,
+          derive_point_seed(config_.seed ^ kFaultSalt, 2 * i + side));
+      link::LinkPort& port = side == 0 ? links_[i]->a() : links_[i]->b();
+      port.set_fault_injector(injector.get());
+      fault_labels_.push_back(std::string("link=") + kNames[i] +
+                              ",side=" + (side == 0 ? "host" : "switch"));
+      fault_injectors_.push_back(std::move(injector));
+    }
+  }
+}
+
 void Testbed::install_policies() {
   target_policy_ = make_target_policy(config_, addr_);
 
@@ -243,6 +269,20 @@ void Testbed::register_metrics(telemetry::MetricRegistry& registry) {
     links_[i]->b().register_metrics(registry, "link=" + name + ",side=switch");
   }
   switch_->register_metrics(registry, "");
+  for (std::size_t i = 0; i < fault_injectors_.size(); ++i) {
+    fault_injectors_[i]->register_metrics(registry, fault_labels_[i]);
+  }
+  if (!fault_injectors_.empty()) {
+    // Checksum-drop counters join the registry only alongside fault
+    // injection (the one source of corrupt frames); fault-free benches keep
+    // their exact pre-fault metric set, so figure artifacts stay
+    // byte-identical to a build without this subsystem.
+    for (stack::Host* host : hosts) {
+      const stack::NicStats& nic = host->nic().stats();
+      registry.counter_fn("nic.rx_checksum_drops", "host=" + host->name(),
+                          [&nic] { return static_cast<double>(nic.rx_checksum_drops); });
+    }
+  }
   if (target_fw_ != nullptr) target_fw_->register_metrics(registry, "host=target");
   if (client_fw_ != nullptr) client_fw_->register_metrics(registry, "host=client");
   if (iptables_) iptables_->register_metrics(registry, "host=target");

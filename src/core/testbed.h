@@ -13,6 +13,7 @@
 #include "firewall/policy_agent.h"
 #include "firewall/policy_server.h"
 #include "firewall/software_firewall.h"
+#include "link/fault_injector.h"
 #include "link/link.h"
 #include "link/switch.h"
 #include "sim/simulation.h"
@@ -53,6 +54,15 @@ struct TestbedConfig {
   // Enables the FloodGuard screening stage on the target's firewall NIC
   // (the future-work extension; see firewall/flood_guard.h).
   std::optional<firewall::FloodGuardConfig> flood_guard;
+  // Fault injection on both directions of the attacker, client, and target
+  // access links (the policy link stays clean unless fault_policy_link is
+  // set, so policy distribution remains reliable by default). Each injected
+  // port gets its own RNG stream derived from `seed` and the port index —
+  // runs replay byte-identically and are --jobs-independent. Disabled
+  // (nullopt, the default) leaves the frame path untouched: zero extra RNG
+  // draws, byte-identical figure artifacts.
+  std::optional<link::FaultProfile> fault_profile;
+  bool fault_policy_link = false;
   std::uint64_t seed = 1;
 };
 
@@ -92,6 +102,10 @@ class Testbed {
   firewall::SoftwareFirewall* software_firewall() { return iptables_.get(); }
   firewall::PolicyServer* policy_server() { return policy_server_.get(); }
   firewall::PolicyAgent* target_agent() { return target_agent_.get(); }
+  // Fault injectors installed per config.fault_profile (empty when disabled).
+  const std::vector<std::unique_ptr<link::FaultInjector>>& fault_injectors() const {
+    return fault_injectors_;
+  }
 
   // Runs the simulation until policy is in place (policy-server mode) or
   // returns immediately (direct mode). Call once before measurements.
@@ -128,6 +142,7 @@ class Testbed {
  private:
   void build_hosts();
   void install_policies();
+  void install_fault_injectors();
 
   sim::Simulation& sim_;
   TestbedConfig config_;
@@ -135,6 +150,10 @@ class Testbed {
 
   std::unique_ptr<link::Switch> switch_;
   std::vector<std::unique_ptr<link::Link>> links_;
+  // Two injectors per faulted link (one per direction), in link order;
+  // labels_ mirror the link/side naming used by register_metrics.
+  std::vector<std::unique_ptr<link::FaultInjector>> fault_injectors_;
+  std::vector<std::string> fault_labels_;
   std::unique_ptr<stack::Host> policy_host_;
   std::unique_ptr<stack::Host> attacker_;
   std::unique_ptr<stack::Host> client_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "link/fault_injector.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -46,15 +47,24 @@ void LinkPort::start_transmission(net::Packet pkt) {
 
   auto& sim = link_->simulation();
   const auto arrival = tx_time + link_->config().propagation;
-  // Delivery to the peer after serialization + propagation.
-  sim.schedule(arrival, [peer = peer_, p = std::move(pkt)]() mutable {
+  // Delivery to the peer after serialization + propagation — perturbed by
+  // the fault injector when one is installed on this direction.
+  if (fault_ != nullptr) {
+    fault_->on_wire_transit(*this, std::move(pkt), arrival);
+  } else {
+    schedule_delivery(std::move(pkt), arrival);
+  }
+  // The transmitter frees after serialization (IFG already accounted in
+  // frame_time), independent of propagation.
+  sim.schedule(tx_time, [this] { on_transmit_complete(); });
+}
+
+void LinkPort::schedule_delivery(net::Packet pkt, sim::Duration delay) {
+  link_->simulation().schedule(delay, [peer = peer_, p = std::move(pkt)]() mutable {
     peer->stats_.rx_frames++;
     peer->stats_.rx_bytes += p.size();
     if (peer->sink_ != nullptr) peer->sink_->deliver(std::move(p));
   });
-  // The transmitter frees after serialization (IFG already accounted in
-  // frame_time), independent of propagation.
-  sim.schedule(tx_time, [this] { on_transmit_complete(); });
 }
 
 void LinkPort::register_metrics(telemetry::MetricRegistry& registry,

@@ -41,6 +41,7 @@ struct LinkPortStats {
 };
 
 class Link;
+class FaultInjector;
 
 // One side's attachment point to a link. send() transmits toward the peer;
 // frames from the peer are handed to the connected sink.
@@ -48,6 +49,17 @@ class LinkPort {
  public:
   // Registers the local receiver for frames arriving from the peer.
   void connect_sink(FrameSink* sink) { sink_ = sink; }
+  FrameSink* sink() const { return sink_; }
+  // The port on the other side of this link (null until attached).
+  LinkPort* peer() const { return peer_; }
+
+  // Installs a fault injector on this port's TRANSMIT direction (nullptr
+  // removes it; not owned). Every frame this port serializes is routed
+  // through the injector, which may drop, corrupt, duplicate, delay, or
+  // reorder its delivery to the peer. Without an injector the port takes
+  // the exact fault-free path and performs no RNG draws.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
 
   // Enqueues a frame for transmission; drops it if the TX queue is full.
   void send(net::Packet pkt);
@@ -68,13 +80,19 @@ class LinkPort {
 
  private:
   friend class Link;
+  friend class FaultInjector;
 
   void start_transmission(net::Packet pkt);
   void on_transmit_complete();
+  // Schedules delivery of `pkt` to the peer after `delay`; rx accounting
+  // happens at delivery time. The fault injector calls this zero, one, or
+  // two times per transmitted frame.
+  void schedule_delivery(net::Packet pkt, sim::Duration delay);
 
   Link* link_ = nullptr;
   LinkPort* peer_ = nullptr;
   FrameSink* sink_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   std::deque<net::Packet> queue_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;

@@ -1,6 +1,9 @@
 #include "link/tracer.h"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "net/frame_view.h"
 
 namespace barb::link {
 
@@ -39,6 +42,109 @@ std::vector<std::uint8_t> FrameTap::to_pcap() const {
     le32(out, static_cast<std::uint32_t>(frame.data.size()));  // captured
     le32(out, static_cast<std::uint32_t>(frame.data.size()));  // original
     out.insert(out.end(), frame.data.begin(), frame.data.end());
+  }
+  return out;
+}
+
+std::string format_trace_line(const CapturedFrame& frame, const std::string& port_name,
+                              const TraceVerdictFn& verdict) {
+  std::string line = std::to_string(frame.at.ns());
+  line += ' ';
+  line += port_name;
+
+  const auto view = net::FrameView::parse(frame.data);
+  if (!view) {
+    line += " malformed len=" + std::to_string(frame.data.size());
+    return line;
+  }
+  if (!view->ip) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, " eth=0x%04x", view->eth.ethertype);
+    line += buf;
+    line += " len=" + std::to_string(frame.data.size());
+    return line;
+  }
+
+  std::uint16_t src_port = 0, dst_port = 0;
+  if (view->tcp) {
+    line += " tcp";
+    src_port = view->tcp->src_port;
+    dst_port = view->tcp->dst_port;
+  } else if (view->udp) {
+    line += " udp";
+    src_port = view->udp->src_port;
+    dst_port = view->udp->dst_port;
+  } else if (view->icmp) {
+    line += " icmp";
+  } else if (view->vpg) {
+    line += " vpg";
+  } else {
+    line += " proto=" + std::to_string(view->ip->protocol);
+  }
+
+  line += ' ' + view->ip->src.to_string() + ':' + std::to_string(src_port) +
+          " > " + view->ip->dst.to_string() + ':' + std::to_string(dst_port);
+  line += " len=" + std::to_string(frame.data.size());
+
+  if (view->tcp) {
+    std::string flags;
+    if (view->tcp->syn()) flags += 'S';
+    if (view->tcp->fin()) flags += 'F';
+    if (view->tcp->rst()) flags += 'R';
+    if (view->tcp->psh()) flags += 'P';
+    if (view->tcp->ack_flag()) flags += 'A';
+    if (!flags.empty()) line += " [" + flags + ']';
+  } else if (view->icmp) {
+    line += " type=" + std::to_string(view->icmp->type);
+  } else if (view->vpg) {
+    line += " vpg_id=" + std::to_string(view->vpg->vpg_id);
+  }
+
+  if (verdict) {
+    const std::string v = verdict(frame, *view);
+    if (!v.empty()) line += " verdict=" + v;
+  }
+  return line;
+}
+
+std::string FrameTap::to_text(const std::string& port_name,
+                              const TraceVerdictFn& verdict) const {
+  std::string out;
+  for (const auto& frame : frames_) {
+    out += format_trace_line(frame, port_name, verdict);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string merged_trace_text(
+    const std::vector<std::pair<std::string, const FrameTap*>>& taps,
+    const TraceVerdictFn& verdict) {
+  // (time, tap index, frame index): ties resolve by tap order then capture
+  // order, keeping the dump byte-stable run to run.
+  struct Entry {
+    std::int64_t ns;
+    std::size_t tap;
+    std::size_t idx;
+  };
+  std::vector<Entry> order;
+  for (std::size_t t = 0; t < taps.size(); ++t) {
+    const auto& frames = taps[t].second->frames();
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      order.push_back(Entry{frames[i].at.ns(), t, i});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.ns != b.ns) return a.ns < b.ns;
+    if (a.tap != b.tap) return a.tap < b.tap;
+    return a.idx < b.idx;
+  });
+
+  std::string out;
+  for (const auto& e : order) {
+    out += format_trace_line(taps[e.tap].second->frames()[e.idx], taps[e.tap].first,
+                             verdict);
+    out += '\n';
   }
   return out;
 }

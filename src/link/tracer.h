@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "link/frame_sink.h"
+#include "net/frame_view.h"
 #include "net/packet.h"
 
 namespace barb::link {
@@ -20,6 +23,13 @@ struct CapturedFrame {
   sim::TimePoint at;
   std::vector<std::uint8_t> data;
 };
+
+// Annotates a trace line with a disposition, e.g. the firewall verdict for
+// the frame ("allow", "deny:3"). A callback (rather than a FirewallNic
+// reference) keeps barb_link independent of barb_firewall. Return an empty
+// string to omit the verdict column.
+using TraceVerdictFn =
+    std::function<std::string(const CapturedFrame&, const net::FrameView&)>;
 
 class FrameTap : public FrameSink {
  public:
@@ -49,11 +59,28 @@ class FrameTap : public FrameSink {
   // Writes the pcap bytes to a file; returns false on I/O failure.
   bool write_pcap(const std::string& path) const;
 
+  // Canonical one-line-per-frame text dump, stable across runs for the same
+  // seed (golden-trace regressions byte-compare it):
+  //   <ns> <port> <proto> <src>:<sp> > <dst>:<dp> len=<n> [flags] [verdict=<v>]
+  std::string to_text(const std::string& port_name,
+                      const TraceVerdictFn& verdict = nullptr) const;
+
  private:
   FrameSink* downstream_;
   std::size_t max_frames_;
   std::vector<CapturedFrame> frames_;
   std::uint64_t seen_ = 0;
 };
+
+// Formats one captured frame as a canonical trace line (no trailing \n).
+std::string format_trace_line(const CapturedFrame& frame, const std::string& port_name,
+                              const TraceVerdictFn& verdict = nullptr);
+
+// Merges several taps into one chronological dump. Ties are broken by tap
+// order then capture order, so the output is deterministic. Each entry pairs
+// a port name with its tap.
+std::string merged_trace_text(
+    const std::vector<std::pair<std::string, const FrameTap*>>& taps,
+    const TraceVerdictFn& verdict = nullptr);
 
 }  // namespace barb::link

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/checksum.h"
 #include "net/icmp.h"
 #include "stack/tcp.h"
 #include "stack/udp.h"
@@ -126,6 +127,11 @@ void Host::ip_input(net::Packet pkt) {
   }
   ++stats_.ip_rx;
 
+  if (!verify_transport_checksum(*v)) {
+    nic_->count_rx_checksum_drop();
+    return;
+  }
+
   if (v->tcp) {
     tcp_->handle_segment(*v);
     return;
@@ -143,6 +149,29 @@ void Host::ip_input(net::Packet pkt) {
   // Unknown protocol at the host (e.g. a stray VPG frame the NIC did not
   // decapsulate): drop.
   ++stats_.ip_rx_dropped;
+}
+
+// Receive-side checksum verification (what checksum-offload hardware does
+// before handing a frame up). The IPv4 header checksum was already verified
+// during parse; this covers the transport layer. A UDP checksum of zero
+// means "not computed" (RFC 768) and is accepted.
+bool Host::verify_transport_checksum(const net::FrameView& v) const {
+  if (v.tcp) {
+    return net::transport_checksum(v.ip->src, v.ip->dst,
+                                   static_cast<std::uint8_t>(net::IpProtocol::kTcp),
+                                   v.l3_payload) == 0;
+  }
+  if (v.udp) {
+    if (v.udp->checksum == 0) return true;
+    if (v.udp->length > v.l3_payload.size()) return false;
+    return net::transport_checksum(v.ip->src, v.ip->dst,
+                                   static_cast<std::uint8_t>(net::IpProtocol::kUdp),
+                                   v.l3_payload.first(v.udp->length)) == 0;
+  }
+  if (v.icmp) {
+    return net::internet_checksum(v.l3_payload) == 0;
+  }
+  return true;
 }
 
 bool Host::send_echo_request(net::Ipv4Address dst, std::uint16_t id,

@@ -119,6 +119,7 @@ class Host : public link::FrameSink {
  private:
   friend class TcpLayer;  // maintains tcp_rst_sent
   void ip_input(net::Packet pkt);
+  bool verify_transport_checksum(const net::FrameView& v) const;
   void handle_icmp(const net::FrameView& v);
   void send_icmp_port_unreachable(const net::FrameView& original);
   void send_frame(net::Packet pkt);

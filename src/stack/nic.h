@@ -23,6 +23,11 @@ struct NicStats {
   std::uint64_t rx_frames = 0;        // accepted from the wire
   std::uint64_t rx_delivered = 0;     // handed to the host stack
   std::uint64_t rx_dropped = 0;       // dropped by the NIC (ring/filter)
+  // Frames the stack discarded for a failed IPv4/TCP/UDP/ICMP checksum
+  // (receive-side verification, the checksum-offload analogue). Counted
+  // separately from rx_dropped so bit-corruption experiments can see
+  // exactly how much mangled traffic the checksums caught.
+  std::uint64_t rx_checksum_drops = 0;
   std::uint64_t tx_requested = 0;     // handed down by the host
   std::uint64_t tx_sent = 0;          // put on the wire
   std::uint64_t tx_dropped = 0;
@@ -50,6 +55,11 @@ class Nic : public link::FrameSink {
 
   // Host -> wire path; subclasses may filter, delay, or transform.
   virtual void transmit(net::Packet pkt) = 0;
+
+  // Called by the host stack when receive-side checksum verification
+  // rejects a frame this NIC delivered (the drop itself happens in the
+  // stack; the NIC owns the counter, as checksum offload hardware would).
+  void count_rx_checksum_drop() { ++stats_.rx_checksum_drops; }
 
  protected:
   // True if the frame is addressed to this NIC (or broadcast/multicast).

@@ -694,13 +694,8 @@ void TcpLayer::send_segment(const net::FiveTuple& key, net::TcpHeader header,
 
 void TcpLayer::handle_segment(const net::FrameView& v) {
   BARB_ASSERT(v.tcp.has_value() && v.ip.has_value());
-
-  // Verify the transport checksum over the whole TCP segment.
-  if (net::transport_checksum(v.ip->src, v.ip->dst,
-                              static_cast<std::uint8_t>(net::IpProtocol::kTcp),
-                              v.l3_payload) != 0) {
-    return;
-  }
+  // Checksum verification happened in Host::ip_input (counted on the NIC);
+  // by here the segment is known-good.
 
   // Connection keys are local-perspective.
   net::FiveTuple key;

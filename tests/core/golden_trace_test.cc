@@ -1,0 +1,133 @@
+// Golden-trace regression for the fig2 one-rule topology.
+//
+// Runs a fixed, fully deterministic traffic script (pings + UDP datagrams,
+// no RNG-dependent applications) through the EFW testbed at depth 1 and
+// byte-compares the canonical text dump of every access port against a
+// checked-in golden file. Any change to frame timing, contents, ordering,
+// or firewall verdicts shows up as a diff.
+//
+// Regenerate after an intentional behavior change with:
+//   BARB_UPDATE_GOLDEN=1 ctest -R core_golden_trace
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/testbed.h"
+#include "firewall/nic_firewall.h"
+#include "link/tracer.h"
+#include "sim/simulation.h"
+#include "stack/host.h"
+#include "stack/nic.h"
+#include "stack/udp.h"
+
+namespace barb {
+namespace {
+
+const char* kGoldenPath = BARB_TEST_DATA_DIR "/golden_trace_fig2.txt";
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+bool write_file(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TEST(GoldenTrace, Fig2OneRuleTopologyMatchesGolden) {
+  sim::Simulation sim(1);
+  core::TestbedConfig config;
+  config.firewall = core::FirewallKind::kEfw;
+  config.action_rule_depth = 1;
+  config.flood_action = firewall::RuleAction::kDeny;
+  core::Testbed bed(sim, config);
+  bed.settle();
+
+  // Tap every access port (host side of each link).
+  link::FrameTap client_tap(bed.client().nic().port()->sink());
+  bed.client().nic().port()->connect_sink(&client_tap);
+  link::FrameTap attacker_tap(bed.attacker().nic().port()->sink());
+  bed.attacker().nic().port()->connect_sink(&attacker_tap);
+  link::FrameTap target_tap(bed.target().nic().port()->sink());
+  bed.target().nic().port()->connect_sink(&target_tap);
+
+  // Fixed traffic script. Everything below is RNG-free and therefore
+  // byte-stable: ICMP echoes, a UDP datagram to a listener, a UDP datagram
+  // to the flood port (denied by the EFW's action rule), and a datagram to
+  // a closed port (ICMP unreachable comes back).
+  auto* echo_listener = bed.target().udp_open(5001);
+  echo_listener->set_receiver(
+      [](net::Ipv4Address, std::uint16_t, std::span<const std::uint8_t>) {});
+
+  auto& client = bed.client();
+  auto& attacker = bed.attacker();
+  const auto target_ip = bed.addresses().target;
+
+  sim.schedule(sim::Duration::milliseconds(10), [&client, target_ip] {
+    client.send_echo_request(target_ip, 0x11, 1, 56);
+  });
+  sim.schedule(sim::Duration::milliseconds(20), [&client, target_ip] {
+    auto* sock = client.udp_open(6001);
+    const std::uint8_t payload[] = {0xde, 0xad, 0xbe, 0xef};
+    sock->send_to(target_ip, 5001, payload);
+  });
+  sim.schedule(sim::Duration::milliseconds(30), [&attacker, target_ip] {
+    auto* sock = attacker.udp_open(6002);
+    const std::uint8_t payload[] = {0x01, 0x02, 0x03};
+    sock->send_to(target_ip, core::kFloodPort, payload);
+  });
+  sim.schedule(sim::Duration::milliseconds(40), [&client, target_ip] {
+    auto* sock = client.udp_open(6003);
+    const std::uint8_t payload[] = {0x42};
+    sock->send_to(target_ip, 4242, payload);  // closed port
+  });
+  sim.schedule(sim::Duration::milliseconds(50), [&attacker, target_ip] {
+    attacker.send_echo_request(target_ip, 0x22, 1, 56);
+  });
+  sim.run();
+
+  // Annotate each line with the device-under-test's verdict for the frame.
+  const firewall::RuleSet& rules = bed.target_firewall()->rule_set();
+  link::TraceVerdictFn verdict = [&rules](const link::CapturedFrame&,
+                                          const net::FrameView& view) {
+    if (!view.ip) return std::string();
+    const auto result = rules.match(view);
+    std::string v = firewall::to_string(result.action);
+    if (result.matched_index >= 0) {
+      v += ":" + std::to_string(result.matched_index);
+    }
+    return v;
+  };
+
+  const std::string trace = link::merged_trace_text(
+      {{"client", &client_tap}, {"attacker", &attacker_tap}, {"target", &target_tap}},
+      verdict);
+  ASSERT_FALSE(trace.empty());
+
+  if (std::getenv("BARB_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(write_file(kGoldenPath, trace)) << "could not write " << kGoldenPath;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  const std::string golden = read_file(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with BARB_UPDATE_GOLDEN=1 ctest -R core_golden_trace";
+  EXPECT_EQ(trace, golden)
+      << "trace diverged from " << kGoldenPath
+      << " — if the change is intentional, regenerate with BARB_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace barb

@@ -1,0 +1,148 @@
+// CLI driver for the scenario fuzzer (see sim_fuzzer.h).
+//
+//   fuzz_main --seed 42            run one seed
+//   fuzz_main --seeds 100          run seeds base..base+99 (default base 1)
+//   fuzz_main --base 1000          first seed for --seeds
+//   fuzz_main --jobs 4             distribute seeds over worker threads
+//   fuzz_main --replay case.json   re-run the seed from a failure's scenario file
+//   fuzz_main --verbose            print each case's scenario summary
+//
+// On failure: prints the seed, every violated invariant, the trace tail, and
+// writes fuzz_failure_<seed>.json (replayable with --replay). Exit code 1.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "fuzz/sim_fuzzer.h"
+
+namespace {
+
+using barb::fuzz::FuzzOptions;
+using barb::fuzz::FuzzOutcome;
+
+void report_failure(const FuzzOutcome& out) {
+  std::printf("\nFAIL seed=%" PRIu64 " (%s)\n", out.seed, out.summary.c_str());
+  for (const auto& f : out.failures) {
+    std::printf("  invariant violated: %s\n", f.c_str());
+  }
+  const std::string path = "fuzz_failure_" + std::to_string(out.seed) + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fwrite(out.scenario_json.data(), 1, out.scenario_json.size(), f);
+    std::fclose(f);
+    std::printf("  scenario written to %s (replay: fuzz_main --replay %s)\n",
+                path.c_str(), path.c_str());
+  }
+  if (!out.trace_tail.empty()) {
+    std::printf("  last frames on the wire:\n");
+    // Indent the trace tail for readability.
+    std::string line;
+    for (char c : out.trace_tail) {
+      if (c == '\n') {
+        std::printf("    %s\n", line.c_str());
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+  }
+  std::printf("  reproduce with: fuzz_main --seed %" PRIu64 "\n", out.seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t base = 1;
+  std::uint64_t count = 0;
+  bool have_single = false;
+  std::uint64_t single_seed = 0;
+  int jobs = 1;
+  FuzzOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      single_seed = std::strtoull(next(), nullptr, 0);
+      have_single = true;
+    } else if (arg == "--seeds") {
+      count = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--base") {
+      base = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(next());
+    } else if (arg == "--replay") {
+      std::uint64_t seed = 0;
+      if (!barb::fuzz::seed_from_scenario_file(next(), &seed)) {
+        std::fprintf(stderr, "could not read a seed from %s\n", argv[i]);
+        return 2;
+      }
+      single_seed = seed;
+      have_single = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: fuzz_main [--seed N | --seeds N [--base N]] [--jobs N]\n"
+          "                 [--replay scenario.json] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (have_single) {
+    const FuzzOutcome out = barb::fuzz::run_seed(single_seed, options);
+    if (out.ok) {
+      std::printf("ok seed=%" PRIu64 " (%s, %" PRIu64 " differential checks)\n",
+                  out.seed, out.summary.c_str(), out.differential_checks);
+      return 0;
+    }
+    report_failure(out);
+    return 1;
+  }
+
+  if (count == 0) count = 20;
+  std::printf("fuzzing %" PRIu64 " seeds starting at %" PRIu64 " (jobs=%d)\n", count,
+              base, jobs);
+
+  // Each seed is a shared-nothing simulation, so seeds parallelize with the
+  // same slot-per-point scheme the sweep runner uses for experiments.
+  barb::core::SweepRunner runner(barb::core::SweepRunner::Options{jobs, base});
+  const auto outcomes = runner.run_indexed<FuzzOutcome>(
+      static_cast<std::size_t>(count), [&](const barb::core::SweepPoint& point) {
+        return barb::fuzz::run_seed(base + point.index, options);
+      });
+
+  std::uint64_t passed = 0;
+  std::uint64_t total_checks = 0;
+  int failures = 0;
+  for (const auto& out : outcomes) {
+    total_checks += out.differential_checks;
+    if (options.verbose) {
+      std::printf("%s seed=%" PRIu64 " (%s)\n", out.ok ? "ok  " : "FAIL", out.seed,
+                  out.summary.c_str());
+    }
+    if (out.ok) {
+      ++passed;
+    } else {
+      ++failures;
+      report_failure(out);
+    }
+  }
+  std::printf("\n%" PRIu64 "/%" PRIu64 " seeds passed, %" PRIu64
+              " differential checks total\n",
+              passed, count, total_checks);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Randomized scenario fuzzer with invariant oracles.
+//
+// A 64-bit seed fully determines one fuzz case: a random topology (the
+// paper's four-host testbed with a random firewall configuration, or a
+// star of 2..6 plain hosts), a random rule-set, a random traffic mix
+// (bulk TCP transfers, packet floods, pings), and a random link fault
+// profile. The case runs to quiescence and a set of invariant oracles is
+// checked:
+//
+//  * conservation — per link direction, frames received equals frames
+//    transmitted minus injected losses plus injected duplicates; per NIC,
+//    every accepted frame was delivered or dropped (nothing vanishes);
+//  * scheduler monotonicity — events execute in nondecreasing time order
+//    (checked both directly on a randomized scheduler load and through
+//    the frame taps' capture timestamps);
+//  * TCP safety — no out-of-order or corrupted byte is ever delivered to
+//    the application, transfers either complete or give up cleanly after
+//    rto_retries, and a fault-free run retransmits nothing;
+//  * differential rule-set — RuleSet::match agrees with an independent
+//    naive reference matcher on >= 10k random packets and tuples,
+//    including VPG-encapsulated frames.
+//
+// Failures reproduce deterministically: re-running the printed seed (or a
+// scenario file written by a failing run) rebuilds the identical case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace barb::fuzz {
+
+struct FuzzOptions {
+  // Frames kept per tap for the failure dump (the last N seen).
+  std::size_t trace_tail = 16;
+  // Extra per-case detail on stdout.
+  bool verbose = false;
+};
+
+struct FuzzOutcome {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  // One human-readable line per violated invariant.
+  std::vector<std::string> failures;
+  // Replayable scenario description (JSON; contains the seed).
+  std::string scenario_json;
+  // Canonical text dump of the last frames each tap saw (failure context).
+  std::string trace_tail;
+  // Packets + tuples compared against the reference matcher.
+  std::uint64_t differential_checks = 0;
+  // One-line description of the generated scenario.
+  std::string summary;
+};
+
+// Runs the complete fuzz case for `seed` (differential oracle + simulated
+// scenario + invariant checks).
+FuzzOutcome run_seed(std::uint64_t seed, const FuzzOptions& options = {});
+
+// Extracts the "seed" field from a scenario JSON written by a failing run.
+// Scenarios are fully seed-derived, so the seed alone replays the case.
+bool seed_from_scenario_file(const std::string& path, std::uint64_t* seed);
+
+}  // namespace barb::fuzz

@@ -1,0 +1,203 @@
+// TCP behavior under injected link faults: RTO backoff, fast retransmit,
+// reordering transparency, and clean give-up after rto_retries. All
+// scenarios are seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "link/fault_injector.h"
+#include "link/link.h"
+#include "link/tracer.h"
+#include "net/frame_view.h"
+#include "sim/simulation.h"
+#include "stack/host.h"
+#include "stack/tcp.h"
+#include "testutil/fixtures.h"
+#include "testutil/tcp_helpers.h"
+
+namespace barb {
+namespace {
+
+class TcpFault : public ::testing::Test {
+ protected:
+  sim::Simulation sim{1};
+  testutil::TwoHosts net{sim};
+};
+
+TEST_F(TcpFault, LossTriggersRtoWithExponentialBackoff) {
+  // Establish cleanly, then blackhole the ACK direction (b -> a). Every
+  // data retransmission still reaches b, so b's port sees the attempt
+  // times; the gaps between them are the sender's RTO schedule.
+  bool established = false;
+  net.b->tcp_listen(5001, [](std::shared_ptr<stack::TcpConnection>) {});
+  auto conn = net.a->tcp_connect(net.b->ip(), 5001);
+  conn->on_connected = [&] { established = true; };
+  sim.run_for(sim::Duration::seconds(2));
+  ASSERT_TRUE(established);
+
+  link::FrameTap tap(net.link.b().sink());
+  net.link.b().connect_sink(&tap);
+
+  link::FaultProfile blackhole;
+  blackhole.loss = 1.0;
+  link::FaultInjector injector(blackhole, 7);
+  net.link.b().set_fault_injector(&injector);
+
+  const std::vector<std::uint8_t> data(100, 0x55);
+  conn->send(data);
+  sim.run();
+
+  // The sender retried until rto_retries consecutive timeouts, then gave up.
+  EXPECT_GE(conn->stats().timeouts, 10u);
+  EXPECT_GE(conn->stats().retransmissions, 10u);
+  EXPECT_EQ(conn->state(), stack::TcpState::kClosed);
+
+  // Collect arrival times of the data segment's transmission attempts.
+  std::vector<std::int64_t> attempts;
+  for (const auto& frame : tap.frames()) {
+    const auto view = net::FrameView::parse(frame.data);
+    if (view && view->tcp && !view->l4_payload.empty()) {
+      attempts.push_back(frame.at.ns());
+    }
+  }
+  ASSERT_GE(attempts.size(), 5u);
+  // Successive gaps must grow roughly geometrically (allowing the max_rto
+  // clamp at the tail): each at least 1.5x the previous for the first four.
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < attempts.size(); ++i) {
+    gaps.push_back(static_cast<double>(attempts[i] - attempts[i - 1]));
+  }
+  for (std::size_t i = 1; i < 4 && i < gaps.size(); ++i) {
+    EXPECT_GE(gaps[i], 1.5 * gaps[i - 1])
+        << "gap " << i << " did not back off (" << gaps[i - 1] << " -> " << gaps[i]
+        << " ns)";
+  }
+}
+
+TEST_F(TcpFault, ModerateLossRecoversViaFastRetransmit) {
+  // 5% i.i.d. loss on the data direction; the ACK path stays clean, so
+  // duplicate ACKs arrive and fast retransmit (not just RTO) kicks in over
+  // a long enough transfer.
+  link::FaultProfile lossy;
+  lossy.loss = 0.05;
+  link::FaultInjector injector(lossy, 99);
+  net.link.a().set_fault_injector(&injector);
+
+  constexpr std::size_t kBytes = 300 * 1024;
+  testutil::VerifyingReceiver receiver;
+  net.b->tcp_listen(5001, [&](std::shared_ptr<stack::TcpConnection> c) {
+    receiver.attach(c);
+  });
+  auto conn = net.a->tcp_connect(net.b->ip(), 5001);
+  testutil::BulkSender sender(conn, kBytes);
+  sim.run();
+
+  EXPECT_EQ(receiver.received(), kBytes);
+  EXPECT_EQ(receiver.mismatches(), 0u);
+  EXPECT_TRUE(receiver.eof());
+  EXPECT_GT(injector.stats().lost(), 0u);
+  // Losses require retransmissions; with a clean ACK path some of them are
+  // fast retransmits.
+  EXPECT_GT(conn->stats().retransmissions, 0u);
+  EXPECT_GT(conn->stats().fast_retransmits, 0u);
+  EXPECT_GE(conn->stats().retransmissions, conn->stats().fast_retransmits);
+}
+
+TEST_F(TcpFault, ReorderingIsInvisibleToTheApplication) {
+  link::FaultProfile reordering;
+  reordering.reorder = 0.2;
+  reordering.reorder_window = 5;
+  reordering.reorder_hold = sim::Duration::milliseconds(2);
+  link::FaultInjector injector(reordering, 42);
+  net.link.a().set_fault_injector(&injector);
+
+  constexpr std::size_t kBytes = 150 * 1024;
+  testutil::VerifyingReceiver receiver;
+  net.b->tcp_listen(5001, [&](std::shared_ptr<stack::TcpConnection> c) {
+    receiver.attach(c);
+  });
+  auto conn = net.a->tcp_connect(net.b->ip(), 5001);
+  testutil::BulkSender sender(conn, kBytes);
+  sim.run();
+
+  EXPECT_GT(injector.stats().reordered, 0u);
+  // Reordering on the wire, never in the byte stream.
+  EXPECT_EQ(receiver.received(), kBytes);
+  EXPECT_EQ(receiver.mismatches(), 0u);
+  EXPECT_TRUE(receiver.eof());
+}
+
+TEST_F(TcpFault, SustainedLossGivesUpCleanly) {
+  bool established = false;
+  bool closed = false;
+  net.b->tcp_listen(5001, [](std::shared_ptr<stack::TcpConnection>) {});
+  auto conn = net.a->tcp_connect(net.b->ip(), 5001);
+  conn->on_connected = [&] { established = true; };
+  conn->on_closed = [&] { closed = true; };
+  sim.run_for(sim::Duration::seconds(2));
+  ASSERT_TRUE(established);
+
+  // Blackhole both directions mid-connection.
+  link::FaultProfile blackhole;
+  blackhole.loss = 1.0;
+  link::FaultInjector fwd(blackhole, 1);
+  link::FaultInjector rev(blackhole, 2);
+  net.link.a().set_fault_injector(&fwd);
+  net.link.b().set_fault_injector(&rev);
+
+  const std::vector<std::uint8_t> data(2000, 0x77);
+  conn->send(data);
+  sim.run();
+
+  // Give-up is a full, clean teardown: rto_retries consecutive timeouts,
+  // CLOSED state, on_closed fired, and the event queue drained (no timer
+  // left running).
+  // rto_retries = 10: the sender retried 10 times, and the final timeout
+  // that trips the limit is itself counted.
+  EXPECT_GE(conn->stats().timeouts, 10u);
+  EXPECT_LE(conn->stats().timeouts, 11u);
+  EXPECT_EQ(conn->state(), stack::TcpState::kClosed);
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(sim.scheduler().empty());
+}
+
+TEST_F(TcpFault, FaultScenarioIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation sim(seed);
+    testutil::TwoHosts net(sim);
+    link::FaultProfile p;
+    p.loss = 0.08;
+    p.reorder = 0.1;
+    p.reorder_window = 3;
+    p.jitter_max = sim::Duration::microseconds(200);
+    link::FaultInjector injector(p, seed * 2 + 1);
+    net.link.a().set_fault_injector(&injector);
+
+    testutil::VerifyingReceiver receiver;
+    net.b->tcp_listen(5001, [&](std::shared_ptr<stack::TcpConnection> c) {
+      receiver.attach(c);
+    });
+    auto conn = net.a->tcp_connect(net.b->ip(), 5001);
+    testutil::BulkSender sender(conn, 80 * 1024);
+    sim.run();
+
+    struct Result {
+      std::uint64_t rtx, timeouts, fast, lost, reordered;
+      std::size_t received;
+      std::int64_t end_ns;
+      bool operator==(const Result&) const = default;
+    };
+    return Result{conn->stats().retransmissions, conn->stats().timeouts,
+                  conn->stats().fast_retransmits, injector.stats().lost(),
+                  injector.stats().reordered,     receiver.received(),
+                  sim.now().ns()};
+  };
+
+  const auto r1 = run_once(2024);
+  const auto r2 = run_once(2024);
+  EXPECT_TRUE(r1 == r2);
+  EXPECT_EQ(r1.received, 80u * 1024u);
+}
+
+}  // namespace
+}  // namespace barb
