@@ -1,0 +1,82 @@
+// Figure 2 rerun under the counterfactual matching backends: available
+// bandwidth vs rule-set depth for the ADF with its calibrated linear
+// matcher, the compiled classifier, and the compiled classifier fronted by
+// a five-tuple flow cache.
+//
+// The question this answers is the paper's own "what would it take" aside:
+// Figure 2's bandwidth collapse is entirely the O(rules) walk on the
+// embedded CPU. Compiling the rule-set at policy-push time makes the
+// per-frame cost O(log rules), and the flow cache makes it O(1) for
+// established flows — so both counterfactual curves should hold near the
+// shallow-rule-set plateau all the way to 64 rules.
+//
+// The linear series here is the same model as bench/fig2_bandwidth (that
+// binary's artifact stays the byte-identical paper reproduction; this one
+// is the comparison study).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header(
+      "Figure 2 (counterfactual): Bandwidth vs. Depth by Matching Backend",
+      "Ihde & Sanders, DSN 2006, Figure 2 — compiled-matcher counterfactual");
+  const auto opt = bench::bench_options();
+  auto runner = bench::make_runner(argc, argv, opt);
+
+  telemetry::BenchArtifact artifact("fig2_compiled");
+  bench::set_common_meta(artifact, opt);
+  artifact.set_meta("device", "ADF");
+
+  struct Series {
+    const char* name;
+    firewall::MatchBackend backend;
+  };
+  const Series series[] = {
+      {"ADF linear", firewall::MatchBackend::kLinear},
+      {"ADF compiled", firewall::MatchBackend::kCompiled},
+      {"ADF compiled+flowcache", firewall::MatchBackend::kCompiledFlowCache},
+  };
+  const int depths[] = {1, 2, 4, 8, 16, 32, 48, 64};
+
+  std::vector<std::function<BandwidthPoint(const SweepPoint&)>> tasks;
+  for (int depth : depths) {
+    for (const auto& s : series) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kAdf;
+        cfg.action_rule_depth = depth;
+        cfg.match_backend = s.backend;
+        return measure_available_bandwidth(cfg, bench::with_seed(opt, p.seed));
+      });
+    }
+  }
+  const auto results = bench::run_sweep(runner, "fig2_compiled grid", std::move(tasks));
+
+  TextTable table({"Rules Traversed", "ADF linear (Mbps)", "ADF compiled (Mbps)",
+                   "ADF compiled+flowcache (Mbps)"});
+  std::size_t slot = 0;
+  for (int depth : depths) {
+    std::vector<std::string> row{std::to_string(depth)};
+    for (const auto& s : series) {
+      const auto& point = results[slot++];
+      artifact.add_point(s.name, depth, point.mean(),
+                         point.mbps.count() > 1 ? std::optional(point.stddev())
+                                                : std::nullopt);
+      row.push_back(fmt(point.mean()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  barb::bench::maybe_write_csv("fig2_compiled", table);
+  bench::write_artifact(artifact);
+
+  std::printf(
+      "Expectation: the linear curve collapses toward ~33 Mbps at 64 rules\n"
+      "(the paper's ADF measurement); the compiled curve stays near the\n"
+      "1-rule plateau because lookup cost grows with log(rules); the\n"
+      "flow-cache curve matches or beats compiled (bulk-transfer frames\n"
+      "after the first hit at O(1)).\n\n");
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 3(b) rerun under the counterfactual matching backends, plus the
+// flow-cache thrash scenario: minimum flood rate to cause denial of service
+// vs rule depth, ADF allow-case.
+//
+// Five series:
+//   ADF linear                 — the paper-faithful baseline (same model as
+//                                bench/fig3b_min_flood_rate's ADF (Allow));
+//   ADF compiled               — rule depth mostly stops mattering, so the
+//                                minimum flood rate stays near its depth-1
+//                                value instead of collapsing;
+//   ADF compiled+flowcache     — single-source flood: after the first frame
+//                                the flood tuple is cached and every flood
+//                                frame resolves at O(1), raising the bar
+//                                over plain compiled;
+//   ADF compiled (spoofed) / ADF compiled+flowcache (spoofed) — the
+//                                counter-counterfactual pair. Spoofed-vs-
+//                                honest is not comparable directly: RSTs to
+//                                spoofed (nonexistent) sources die at ARP
+//                                and never pay the card's egress cost, so
+//                                spoofed floods need HIGHER rates overall —
+//                                the same response-traffic mechanism behind
+//                                the paper's "deny ~ 2x allow" anchor. The
+//                                cache-thrash effect is read WITHIN the
+//                                spoofed pair: every spoofed frame is a
+//                                fresh five-tuple, so it misses, pays hash
+//                                + tree walk + insert, and evicts a live
+//                                entry — the flow cache turns from asset
+//                                into pure overhead, and the flowcache
+//                                curve drops below plain compiled. Caches
+//                                are not flood armor.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace barb;
+  using namespace barb::core;
+  bench::print_header(
+      "Figure 3(b) (counterfactual): Min DoS Flood Rate by Matching Backend",
+      "Ihde & Sanders, DSN 2006, Figure 3(b) — compiled-matcher counterfactual");
+  const auto opt = bench::bench_options();
+  const auto search = bench::bench_search_options();
+  auto runner = bench::make_runner(argc, argv, opt);
+
+  telemetry::BenchArtifact artifact("fig3b_compiled");
+  bench::set_common_meta(artifact, opt);
+  artifact.set_meta("device", "ADF");
+  artifact.set_meta("flood", "tcp_data");
+  artifact.set_meta("search_precision", search.precision);
+
+  struct Series {
+    const char* name;
+    firewall::MatchBackend backend;
+    bool spoof;
+  };
+  const Series series[] = {
+      {"ADF linear", firewall::MatchBackend::kLinear, false},
+      {"ADF compiled", firewall::MatchBackend::kCompiled, false},
+      {"ADF compiled+flowcache", firewall::MatchBackend::kCompiledFlowCache, false},
+      {"ADF compiled (spoofed)", firewall::MatchBackend::kCompiled, true},
+      {"ADF compiled+flowcache (spoofed)", firewall::MatchBackend::kCompiledFlowCache,
+       true},
+  };
+  const int depths[] = {1, 8, 16, 32, 64};
+
+  std::vector<std::function<MinFloodResult(const SweepPoint&)>> tasks;
+  for (const auto& s : series) {
+    for (int depth : depths) {
+      tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kAdf;
+        cfg.action_rule_depth = depth;
+        cfg.flood_action = firewall::RuleAction::kAllow;
+        cfg.match_backend = s.backend;
+        FloodSpec flood;
+        flood.type = apps::FloodType::kTcpData;
+        flood.spoof_source = s.spoof;
+        return find_min_dos_flood_rate(cfg, flood, bench::with_seed(opt, p.seed),
+                                       search);
+      });
+    }
+  }
+  const auto results = bench::run_sweep(runner, "fig3b_compiled grid", std::move(tasks));
+
+  TextTable table({"Series", "d=1", "d=8", "d=16", "d=32", "d=64"});
+  std::size_t slot = 0;
+  for (const auto& s : series) {
+    std::vector<std::string> row{s.name};
+    for (int depth : depths) {
+      const auto& result = results[slot++];
+      if (result.rate_pps) artifact.add_point(s.name, depth, *result.rate_pps);
+      row.push_back(result.rate_pps ? fmt_int(*result.rate_pps) : "none");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  barb::bench::maybe_write_csv("fig3b_compiled", table);
+
+  // Cache-thrash timelines: the same 30 kpps flood against the flowcache
+  // backend at depth 64, single-source vs spoofed. The recordings carry the
+  // match.* telemetry (flow hits/misses/evictions/live entries), so the
+  // thrash mechanism is visible directly: the spoofed run's hit counter
+  // stays flat while misses and evictions climb with every flood frame.
+  {
+    std::vector<std::function<FloodTimeline(const SweepPoint&)>> timeline_tasks;
+    for (const bool spoof : {false, true}) {
+      timeline_tasks.push_back([=](const SweepPoint& p) {
+        TestbedConfig cfg;
+        cfg.firewall = FirewallKind::kAdf;
+        cfg.action_rule_depth = 64;
+        cfg.flood_action = firewall::RuleAction::kAllow;
+        cfg.match_backend = firewall::MatchBackend::kCompiledFlowCache;
+        FloodSpec flood;
+        flood.type = apps::FloodType::kTcpData;
+        flood.rate_pps = 30000;
+        flood.spoof_source = spoof;
+        return record_flood_timeline(cfg, flood, bench::with_seed(opt, p.seed));
+      });
+    }
+    const auto timelines =
+        bench::run_sweep(runner, "fig3b_compiled thrash timelines",
+                         std::move(timeline_tasks));
+    const char* scenarios[] = {"flowcache single_source_30kpps",
+                               "flowcache spoofed_30kpps"};
+    for (std::size_t i = 0; i < timelines.size(); ++i) {
+      artifact.add_recording(scenarios[i], timelines[i].recording);
+      std::printf("timeline: goodput under %s = %s Mbps\n", scenarios[i],
+                  fmt(timelines[i].mbps).c_str());
+    }
+    std::printf("\n");
+  }
+  bench::write_artifact(artifact);
+
+  std::printf(
+      "Expectation: the linear series falls with depth (the paper's curve);\n"
+      "compiled stays near its depth-1 rate; single-source flowcache beats\n"
+      "compiled (the cached flood tuple resolves at O(1)). The spoofed pair\n"
+      "sits higher overall — RSTs to spoofed sources die at ARP and spare\n"
+      "the card their egress cost — but WITHIN the pair the flow cache now\n"
+      "LOWERS the bar: every spoofed frame is a fresh tuple, misses, pays\n"
+      "hash + walk + insert, and churns the table (cache thrash). 'none'\n"
+      "means no rate up to 160 kpps caused DoS.\n\n");
+  std::printf("CSV:\n%s", table.to_csv().c_str());
+  return 0;
+}

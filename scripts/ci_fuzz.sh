@@ -3,6 +3,9 @@
 #
 #   1. ASan + UBSan build, 100 sequential seeds — memory safety and UB over
 #      randomized topologies, rule-sets, traffic mixes, and fault profiles.
+#      Each seed's differential oracle is three-way: naive reference vs the
+#      linear matcher vs the compiled classifier (plus the flow-cache path,
+#      generation-bumped across rule-set rebuilds), VPG frames included.
 #   2. Short TSan pass with --jobs 4 — seeds are shared-nothing simulations
 #      distributed over the sweep-runner thread pool; TSan proves it.
 #

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Configure, build, and run the threading-sensitive tests under
-# ThreadSanitizer: the sweep runner (thread pool + result slots) and the
+# ThreadSanitizer: the sweep runner (thread pool + result slots), the
 # buffer pool (thread-local instances with plain refcounts — TSan proves the
-# pools really are disjoint).
+# pools really are disjoint), and the classifier/flow-cache suites (each
+# simulation owns its compiled structure and cache, but sweep tasks build
+# them on pool threads — TSan proves they really are shared-nothing).
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -14,6 +16,7 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 cmake -B "$BUILD_DIR" -S . -DTSAN=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target core_sweep_runner_test net_buffer_pool_stress_test
+  --target core_sweep_runner_test net_buffer_pool_stress_test \
+  firewall_classifier_test firewall_flow_cache_test
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'SweepRunner|DerivePointSeed|ResolveJobs|JobsFromCli|BufferPoolThreading'
+  -R 'SweepRunner|DerivePointSeed|ResolveJobs|JobsFromCli|BufferPoolThreading|CompiledClassifier|FlowCache'

@@ -130,7 +130,9 @@ void Testbed::build_hosts() {
   if (vpg) {
     auto nic = std::make_unique<firewall::FirewallNic>(
         sim_, net::MacAddress::from_host_id(30), "client/adf",
-        config_.profile_override.value_or(firewall::adf_profile()));
+        firewall::with_backend(
+            config_.profile_override.value_or(firewall::adf_profile()),
+            config_.match_backend));
     client_fw_ = nic.get();
     client_ = std::make_unique<stack::Host>(sim_, "client", addr_.client,
                                             std::move(nic), vpg_cfg);
@@ -150,6 +152,7 @@ void Testbed::build_hosts() {
       auto profile = config_.firewall == FirewallKind::kEfw ? firewall::efw_profile()
                                                             : firewall::adf_profile();
       if (config_.profile_override) profile = *config_.profile_override;
+      profile = firewall::with_backend(std::move(profile), config_.match_backend);
       auto nic = std::make_unique<firewall::FirewallNic>(
           sim_, net::MacAddress::from_host_id(40), "target/" + profile.name, profile);
       if (config_.flood_guard) nic->enable_flood_guard(*config_.flood_guard);
@@ -212,7 +215,9 @@ void Testbed::install_policies() {
   target_policy_ = make_target_policy(config_, addr_);
 
   if (config_.firewall == FirewallKind::kIptables) {
-    iptables_ = std::make_unique<firewall::SoftwareFirewall>(sim_);
+    firewall::SoftwareFirewallConfig sw_cfg;
+    sw_cfg.backend = config_.match_backend;
+    iptables_ = std::make_unique<firewall::SoftwareFirewall>(sim_, sw_cfg);
     auto parsed = firewall::parse_policy(target_policy_);
     BARB_ASSERT_MSG(parsed.ok(), "generated iptables policy must parse");
     iptables_->install_rule_set(std::move(*parsed.rule_set));

@@ -48,6 +48,12 @@ struct TestbedConfig {
   // Distribute policy through the policy server + agents (slower to settle
   // but exercises the real management path) instead of direct installation.
   bool use_policy_server = false;
+  // Rule-matching backend on the device under test (and the client-side ADF
+  // in VPG mode, and the iptables host filter): `kLinear` is the calibrated
+  // paper-faithful default; the compiled backends are the ROADMAP item 1
+  // counterfactual profiles ("compiled", "compiled+flowcache"). Applied on
+  // top of profile_override when both are set.
+  firewall::MatchBackend match_backend = firewall::MatchBackend::kLinear;
   // Replaces the standard EFW/ADF device profile on the firewall NICs
   // (ablation studies tweak cost-model parameters through this).
   std::optional<firewall::DeviceProfile> profile_override;

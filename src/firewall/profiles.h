@@ -44,6 +44,32 @@
 
 namespace barb::firewall {
 
+// Rule-matching backend on the embedded CPU.
+//
+//  * kLinear — the calibrated paper-faithful model: O(rules) first-match
+//    interpretation per frame (everything the paper measured).
+//  * kCompiled — counterfactual: the firmware compiles the rule-set into a
+//    field-wise decision structure at policy-push time; per-frame cost is
+//    per *node visited* (binary-search steps + intersection words), not per
+//    rule. See firewall/classifier/compiled_classifier.h.
+//  * kCompiledFlowCache — kCompiled plus a five-tuple verdict cache:
+//    established flows resolve with one hash+compare and skip the decision
+//    structure entirely. See firewall/classifier/flow_cache.h.
+enum class MatchBackend : std::uint8_t {
+  kLinear,
+  kCompiled,
+  kCompiledFlowCache,
+};
+
+inline const char* to_string(MatchBackend backend) {
+  switch (backend) {
+    case MatchBackend::kLinear: return "linear";
+    case MatchBackend::kCompiled: return "compiled";
+    case MatchBackend::kCompiledFlowCache: return "compiled+flowcache";
+  }
+  return "?";
+}
+
 struct DeviceProfile {
   std::string name;
   // Per-arrival cost (descriptor/DMA handling) charged for EVERY frame that
@@ -89,6 +115,26 @@ struct DeviceProfile {
   // until the agent restarts it. 0 disables the fault.
   std::uint64_t lockup_denies_per_sec = 0;
 
+  // --- Matching backend (ROADMAP item 1 counterfactual) ------------------
+  // kLinear keeps the calibrated per_rule cost above; the compiled backends
+  // replace the rule-walk term with their own cost model. These are NOT
+  // calibrated against hardware (no such firmware existed) — they are
+  // anchored to the same embedded CPU's primitive costs: one decision-tree
+  // node is a word-sized load+compare+branch in card RAM (a fraction of the
+  // 1.63 us full rule evaluation), one flow-cache probe is a tuple hash
+  // plus a 13-byte key compare.
+  MatchBackend match_backend = MatchBackend::kLinear;
+  // Cost per compiled-structure node visited on a classification
+  // (binary-search steps + intersection words; CompiledMatch::nodes).
+  sim::Duration compiled_node = sim::Duration::nanoseconds(200);
+  // Hash + key-compare cost per flow-cache lookup (hit or miss; a miss pays
+  // this *plus* the compiled walk, plus the insert).
+  sim::Duration flow_lookup = sim::Duration::nanoseconds(900);
+  // Insert/displacement cost charged when a miss caches its verdict.
+  sim::Duration flow_insert = sim::Duration::nanoseconds(400);
+  // Verdict-cache capacity (entries; rounded up to a power of two).
+  std::size_t flow_cache_capacity = 8192;
+
   // Service time of an accepted frame before any VPG crypto.
   sim::Duration base_service(std::size_t frame_bytes, int rule_units) const {
     return fixed + per_byte * static_cast<std::int64_t>(frame_bytes) +
@@ -111,6 +157,19 @@ inline DeviceProfile adf_profile() {
   DeviceProfile p;
   p.name = "ADF";
   p.per_rule = sim::Duration::nanoseconds(2920);
+  return p;
+}
+
+// Derived profile with a non-default matching backend ("EFW+compiled",
+// "EFW+flowcache", ...). The linear calibration constants stay in place —
+// only the rule-walk term of the cost model is swapped out.
+inline DeviceProfile with_backend(DeviceProfile p, MatchBackend backend) {
+  p.match_backend = backend;
+  switch (backend) {
+    case MatchBackend::kLinear: break;
+    case MatchBackend::kCompiled: p.name += "+compiled"; break;
+    case MatchBackend::kCompiledFlowCache: p.name += "+flowcache"; break;
+  }
   return p;
 }
 

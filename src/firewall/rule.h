@@ -52,8 +52,14 @@ struct Rule {
   int cost_units() const { return action == RuleAction::kVpg ? 2 : 1; }
 
   bool matches(const net::FiveTuple& t) const {
+    return matches(t, t.reversed());
+  }
+
+  // Hot-path form: the linear matcher computes the reversed tuple once per
+  // lookup instead of re-deriving it inside every rule.
+  bool matches(const net::FiveTuple& t, const net::FiveTuple& reversed) const {
     if (matches_directed(t)) return true;
-    return bidirectional && matches_directed(t.reversed());
+    return bidirectional && matches_directed(reversed);
   }
 
   std::string to_string() const;

@@ -75,6 +75,7 @@ MatchResult RuleSet::match(const net::FrameView& v) const {
 
   const bool is_vpg_frame = v.vpg.has_value();
   const auto tuple = v.five_tuple();
+  const net::FiveTuple reversed = tuple ? tuple->reversed() : net::FiveTuple{};
 
   int index = 0;
   for (const auto& rule : rules_) {
@@ -84,7 +85,7 @@ MatchResult RuleSet::match(const net::FrameView& v) const {
     if (is_vpg_frame) {
       hit = rule.action == RuleAction::kVpg && rule.vpg_id == v.vpg->vpg_id;
     } else if (tuple) {
-      hit = rule.matches(*tuple);
+      hit = rule.matches(*tuple, reversed);
     }
     if (hit) {
       result.action = rule.action;
@@ -101,11 +102,12 @@ MatchResult RuleSet::match(const net::FrameView& v) const {
 
 MatchResult RuleSet::match(const net::FiveTuple& t) const {
   MatchResult result;
+  const net::FiveTuple reversed = t.reversed();
   int index = 0;
   for (const auto& rule : rules_) {
     result.rules_traversed += rule.cost_units();
     if (rule.action == RuleAction::kVpg) ++result.vpg_rules_traversed;
-    if (rule.matches(t)) {
+    if (rule.matches(t, reversed)) {
       result.action = rule.action;
       result.vpg_id = rule.vpg_id;
       result.matched_index = index;

@@ -11,6 +11,8 @@
 #include "apps/flood_generator.h"
 #include "core/runner.h"
 #include "core/testbed.h"
+#include "firewall/classifier/compiled_classifier.h"
+#include "firewall/classifier/flow_cache.h"
 #include "firewall/rule_set.h"
 #include "link/fault_injector.h"
 #include "link/link.h"
@@ -198,16 +200,42 @@ std::vector<std::uint8_t> random_frame(sim::Random& rng) {
   }
 }
 
+// True when the compiled backend reproduced the linear matcher's result
+// bit-for-bit (verdict, matched rule, and both traversal counters — the
+// counters feed the cost model, so they are part of the contract too).
+bool same_match(const firewall::MatchResult& a, const firewall::MatchResult& b) {
+  return a.action == b.action && a.matched_index == b.matched_index &&
+         a.rules_traversed == b.rules_traversed &&
+         a.vpg_rules_traversed == b.vpg_rules_traversed && a.vpg_id == b.vpg_id;
+}
+
+std::string describe_match(const firewall::MatchResult& m) {
+  return std::string(firewall::to_string(m.action)) + " index=" +
+         std::to_string(m.matched_index) + " traversed=" +
+         std::to_string(m.rules_traversed) + " vpg_traversed=" +
+         std::to_string(m.vpg_rules_traversed) + " vpg_id=" +
+         std::to_string(m.vpg_id);
+}
+
 std::uint64_t run_differential_oracle(std::uint64_t seed, Failures fail) {
   sim::Random rng(core::derive_point_seed(seed ^ kDifferentialSalt, 0));
   std::uint64_t checks = 0;
-  // A few rule-sets per seed; >= 10k packets in total.
+  // The flow cache outlives the per-round rule-sets (as it does on a real
+  // device across policy pushes); each rebuild bumps its generation, so any
+  // hit that surfaces a previous round's verdict is a caught bug.
+  firewall::FlowCache cache(firewall::FlowCacheConfig{512, 8});
+  firewall::CompiledClassifier compiled;
+  // A few rule-sets per seed; >= 10k packets in total. Every packet is
+  // checked three ways: naive reference vs RuleSet::match (linear) vs the
+  // compiled classifier, plus the flow-cache-assisted compiled path.
   for (int round = 0; round < 4; ++round) {
     firewall::RuleSet rs;
     const int n_rules = static_cast<int>(1 + rng.uniform(24));
     for (int i = 0; i < n_rules; ++i) rs.add(random_rule(rng));
     rs.set_default_action(rng.bernoulli(0.5) ? firewall::RuleAction::kAllow
                                              : firewall::RuleAction::kDeny);
+    compiled.rebuild(rs);
+    cache.bump_generation();
 
     for (int i = 0; i < 1500; ++i) {
       const auto t = random_tuple(rng);
@@ -223,6 +251,24 @@ std::uint64_t run_differential_oracle(std::uint64_t seed, Failures fail) {
              std::to_string(ref_index) + " for " + t.to_string() + "\nrule-set:\n" +
              rs.to_string());
         return checks;
+      }
+      const auto cm = compiled.match(t);
+      if (!same_match(cm.result, got)) {
+        fail("differential(tuple): compiled says " + describe_match(cm.result) +
+             ", linear says " + describe_match(got) + " for " + t.to_string() +
+             "\nrule-set:\n" + rs.to_string());
+        return checks;
+      }
+      firewall::MatchResult cached;
+      if (cache.lookup(t, &cached)) {
+        if (!same_match(cached, got)) {
+          fail("differential(tuple): flow cache says " + describe_match(cached) +
+               ", linear says " + describe_match(got) + " for " + t.to_string() +
+               "\nrule-set:\n" + rs.to_string());
+          return checks;
+        }
+      } else {
+        cache.insert(t, cm.result);
       }
     }
 
@@ -240,6 +286,15 @@ std::uint64_t run_differential_oracle(std::uint64_t seed, Failures fail) {
              std::to_string(got.matched_index) + ", reference says action=" +
              std::string(firewall::to_string(ref)) + " index=" +
              std::to_string(ref_index) +
+             (view->vpg ? " (vpg frame id=" + std::to_string(view->vpg->vpg_id) + ")"
+                        : "") +
+             "\nrule-set:\n" + rs.to_string());
+        return checks;
+      }
+      const auto cm = compiled.match(*view);
+      if (!same_match(cm.result, got)) {
+        fail("differential(frame): compiled says " + describe_match(cm.result) +
+             ", linear says " + describe_match(got) +
              (view->vpg ? " (vpg frame id=" + std::to_string(view->vpg->vpg_id) + ")"
                         : "") +
              "\nrule-set:\n" + rs.to_string());

@@ -16,9 +16,13 @@
 //  * TCP safety — no out-of-order or corrupted byte is ever delivered to
 //    the application, transfers either complete or give up cleanly after
 //    rto_retries, and a fault-free run retransmits nothing;
-//  * differential rule-set — RuleSet::match agrees with an independent
-//    naive reference matcher on >= 10k random packets and tuples,
-//    including VPG-encapsulated frames.
+//  * differential rule-set — a three-way oracle: RuleSet::match (the
+//    linear walk), an independent naive reference matcher, and the
+//    compiled classifier must produce bit-identical verdicts (action,
+//    matched rule, and traversal counters) on >= 10k random packets and
+//    tuples, including VPG-encapsulated frames; a flow cache shared
+//    across rule-set rebuilds (generation-bumped on each push) must only
+//    ever surface verdicts equal to the current linear verdict.
 //
 // Failures reproduce deterministically: re-running the printed seed (or a
 // scenario file written by a failing run) rebuilds the identical case.
