@@ -29,17 +29,6 @@ std::string padding_vpg(int i) {
 
 }  // namespace
 
-const char* to_string(FirewallKind kind) {
-  switch (kind) {
-    case FirewallKind::kNone: return "No Firewall";
-    case FirewallKind::kIptables: return "iptables";
-    case FirewallKind::kEfw: return "EFW";
-    case FirewallKind::kAdf: return "ADF";
-    case FirewallKind::kAdfVpg: return "ADF (VPG)";
-  }
-  return "?";
-}
-
 std::string make_target_policy(const TestbedConfig& config,
                                const TestbedAddresses& addr) {
   BARB_ASSERT(config.action_rule_depth >= 1);
@@ -93,8 +82,6 @@ Testbed::Testbed(sim::Simulation& sim, const TestbedConfig& config)
 Testbed::~Testbed() = default;
 
 void Testbed::build_hosts() {
-  switch_ = std::make_unique<link::Switch>(sim_, "switch");
-
   const bool vpg = config_.firewall == FirewallKind::kAdfVpg;
   stack::HostConfig default_cfg;
   stack::HostConfig vpg_cfg;
@@ -106,92 +93,75 @@ void Testbed::build_hosts() {
   // than the real testbed did.
   link::LinkConfig link_cfg;
   link_cfg.queue_bytes = 768 * 1024;
-  auto attach = [this, link_cfg](stack::Host& host) {
-    links_.push_back(std::make_unique<link::Link>(sim_, link_cfg));
-    host.nic().attach(links_.back()->a());
-    switch_->attach(links_.back()->b());
-  };
+  link_cfg.batched = link::batch_delivery_enabled(config_.batched_links);
+
+  TopologyBuilder builder(sim_);
+  // The preset keeps the legacy full-mesh ARP installation and the default
+  // learning switch (byte-identity with the wiring it replaced); fleet
+  // fabrics use the shared directory and preloaded FIBs instead.
+  builder.set_shared_arp(false);
+  const int sw = builder.add_switch("switch");
 
   // Policy server host (the testbed's Windows 2000 box) and attacker use
-  // plain NICs.
-  policy_host_ = std::make_unique<stack::Host>(
-      sim_, "policy",
-      addr_.policy_server,
-      std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(10),
-                                           "policy/nic"),
-      default_cfg);
-  attacker_ = std::make_unique<stack::Host>(
-      sim_, "attacker", addr_.attacker,
-      std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(20),
-                                           "attacker/nic"),
-      default_cfg);
+  // plain NICs. Hosts attach in the legacy order: policy, attacker, client,
+  // target — switch port numbering and metric labels depend on it.
+  HostSpec policy_spec;
+  policy_spec.name = "policy";
+  policy_spec.ip = addr_.policy_server;
+  policy_spec.mac = net::MacAddress::from_host_id(10);
+  policy_spec.host_config = default_cfg;
+  builder.add_host(policy_spec, sw, link_cfg);
+
+  HostSpec attacker_spec;
+  attacker_spec.name = "attacker";
+  attacker_spec.ip = addr_.attacker;
+  attacker_spec.mac = net::MacAddress::from_host_id(20);
+  attacker_spec.host_config = default_cfg;
+  builder.add_host(attacker_spec, sw, link_cfg);
 
   // Client: plain NIC except in VPG mode (both tunnel ends need an ADF).
+  HostSpec client_spec;
+  client_spec.name = "client";
+  client_spec.ip = addr_.client;
+  client_spec.mac = net::MacAddress::from_host_id(30);
   if (vpg) {
-    auto nic = std::make_unique<firewall::FirewallNic>(
-        sim_, net::MacAddress::from_host_id(30), "client/adf",
-        firewall::with_backend(
-            config_.profile_override.value_or(firewall::adf_profile()),
-            config_.match_backend));
-    client_fw_ = nic.get();
-    client_ = std::make_unique<stack::Host>(sim_, "client", addr_.client,
-                                            std::move(nic), vpg_cfg);
+    client_spec.nic.kind = FirewallKind::kAdfVpg;
+    client_spec.nic.backend = config_.match_backend;
+    client_spec.nic.profile_override = config_.profile_override;
+    client_spec.nic_label = "client/adf";
+    client_spec.host_config = vpg_cfg;
   } else {
-    client_ = std::make_unique<stack::Host>(
-        sim_, "client", addr_.client,
-        std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(30),
-                                             "client/nic"),
-        default_cfg);
+    client_spec.host_config = default_cfg;
   }
+  builder.add_host(client_spec, sw, link_cfg);
 
   // Target: device under test.
-  switch (config_.firewall) {
-    case FirewallKind::kEfw:
-    case FirewallKind::kAdf:
-    case FirewallKind::kAdfVpg: {
-      auto profile = config_.firewall == FirewallKind::kEfw ? firewall::efw_profile()
-                                                            : firewall::adf_profile();
-      if (config_.profile_override) profile = *config_.profile_override;
-      profile = firewall::with_backend(std::move(profile), config_.match_backend);
-      auto nic = std::make_unique<firewall::FirewallNic>(
-          sim_, net::MacAddress::from_host_id(40), "target/" + profile.name, profile);
-      if (config_.flood_guard) nic->enable_flood_guard(*config_.flood_guard);
-      target_fw_ = nic.get();
-      target_ = std::make_unique<stack::Host>(sim_, "target", addr_.target,
-                                              std::move(nic), vpg ? vpg_cfg : default_cfg);
-      break;
-    }
-    case FirewallKind::kNone:
-    case FirewallKind::kIptables: {
-      target_ = std::make_unique<stack::Host>(
-          sim_, "target", addr_.target,
-          std::make_unique<stack::StandardNic>(sim_, net::MacAddress::from_host_id(40),
-                                               "target/nic"),
-          default_cfg);
-      break;
-    }
-  }
+  HostSpec target_spec;
+  target_spec.name = "target";
+  target_spec.ip = addr_.target;
+  target_spec.mac = net::MacAddress::from_host_id(40);
+  target_spec.nic.kind = config_.firewall;
+  target_spec.nic.backend = config_.match_backend;
+  target_spec.nic.profile_override = config_.profile_override;
+  target_spec.nic.flood_guard = config_.flood_guard;
+  target_spec.host_config = vpg ? vpg_cfg : default_cfg;
+  builder.add_host(target_spec, sw, link_cfg);
 
-  attach(*policy_host_);
-  attach(*attacker_);
-  attach(*client_);
-  attach(*target_);
-
-  // Static ARP everywhere (single switched subnet).
-  stack::Host* hosts[] = {policy_host_.get(), attacker_.get(), client_.get(),
-                          target_.get()};
-  for (auto* h1 : hosts) {
-    for (auto* h2 : hosts) {
-      if (h1 != h2) h1->arp().add(h2->ip(), h2->mac());
-    }
-  }
+  fabric_ = builder.build();
+  policy_host_ = &fabric_->host(0);
+  attacker_ = &fabric_->host(1);
+  client_ = &fabric_->host(2);
+  target_ = &fabric_->host(3);
+  client_fw_ = fabric_->firewall(2);
+  target_fw_ = fabric_->firewall(3);
 }
 
 void Testbed::install_fault_injectors() {
   if (!config_.fault_profile || !config_.fault_profile->enabled()) return;
   // Link order matches build_hosts(): policy, attacker, client, target.
   static const char* kNames[] = {"policy", "attacker", "client", "target"};
-  for (std::size_t i = 0; i < links_.size() && i < 4; ++i) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(fabric_->num_hosts()) && i < 4;
+       ++i) {
     if (i == 0 && !config_.fault_policy_link) continue;
     // Each direction gets an independent stream: port index 2i for the
     // host-side transmitter, 2i+1 for the switch side. derive_point_seed is
@@ -202,7 +172,8 @@ void Testbed::install_fault_injectors() {
       auto injector = std::make_unique<link::FaultInjector>(
           *config_.fault_profile,
           derive_point_seed(config_.seed ^ kFaultSalt, 2 * i + side));
-      link::LinkPort& port = side == 0 ? links_[i]->a() : links_[i]->b();
+      link::Link& link = fabric_->host_link(static_cast<int>(i));
+      link::LinkPort& port = side == 0 ? link.a() : link.b();
       port.set_fault_injector(injector.get());
       fault_labels_.push_back(std::string("link=") + kNames[i] +
                               ",side=" + (side == 0 ? "host" : "switch"));
@@ -263,17 +234,17 @@ void Testbed::install_policies() {
 }
 
 void Testbed::register_metrics(telemetry::MetricRegistry& registry) {
-  stack::Host* hosts[] = {policy_host_.get(), attacker_.get(), client_.get(),
-                          target_.get()};
-  for (std::size_t i = 0; i < links_.size() && i < 4; ++i) {
+  stack::Host* hosts[] = {policy_host_, attacker_, client_, target_};
+  for (std::size_t i = 0; i < 4; ++i) {
     const std::string name = hosts[i]->name();
     hosts[i]->register_metrics(registry, "host=" + name);
     // a() is the host-side port; b() is the switch side, whose TX queue is
     // the switch egress queue toward that host.
-    links_[i]->a().register_metrics(registry, "link=" + name + ",side=host");
-    links_[i]->b().register_metrics(registry, "link=" + name + ",side=switch");
+    link::Link& link = fabric_->host_link(static_cast<int>(i));
+    link.a().register_metrics(registry, "link=" + name + ",side=host");
+    link.b().register_metrics(registry, "link=" + name + ",side=switch");
   }
-  switch_->register_metrics(registry, "");
+  fabric_->fabric_switch(0).register_metrics(registry, "");
   for (std::size_t i = 0; i < fault_injectors_.size(); ++i) {
     fault_injectors_[i]->register_metrics(registry, fault_labels_[i]);
   }

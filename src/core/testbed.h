@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/topology.h"
 #include "firewall/nic_firewall.h"
 #include "firewall/policy_agent.h"
 #include "firewall/policy_server.h"
@@ -22,15 +23,8 @@
 
 namespace barb::core {
 
-enum class FirewallKind {
-  kNone,      // standard NIC (Intel EEPro 100 baseline)
-  kIptables,  // host-resident software firewall
-  kEfw,       // 3Com Embedded Firewall model
-  kAdf,       // Adventium ADF model, plain rule-set
-  kAdfVpg,    // ADF with VPG tunnel between client and target
-};
-
-const char* to_string(FirewallKind kind);
+// FirewallKind and to_string(FirewallKind) live in core/topology.h (the
+// per-host NIC profile is a property of any topology, not just this preset).
 
 struct TestbedConfig {
   FirewallKind firewall = FirewallKind::kNone;
@@ -69,6 +63,10 @@ struct TestbedConfig {
   // draws, byte-identical figure artifacts.
   std::optional<link::FaultProfile> fault_profile;
   bool fault_policy_link = false;
+  // Batched link delivery (see link/link.h). Off by default — the per-frame
+  // engine is the calibrated original; the BARB_LINK_BATCH env var overrides
+  // either way for the byte-identity gate.
+  bool batched_links = false;
   std::uint64_t seed = 1;
 };
 
@@ -100,7 +98,10 @@ class Testbed {
   stack::Host& attacker() { return *attacker_; }
   stack::Host& client() { return *client_; }
   stack::Host& target() { return *target_; }
-  link::Switch& ethernet_switch() { return *switch_; }
+  link::Switch& ethernet_switch() { return fabric_->fabric_switch(0); }
+  // The underlying fabric (hosts indexed policy=0, attacker=1, client=2,
+  // target=3; their access links share the index).
+  Fabric& fabric() { return *fabric_; }
 
   // Device under test on the target host; null unless kEfw/kAdf/kAdfVpg.
   firewall::FirewallNic* target_firewall() { return target_fw_; }
@@ -154,16 +155,18 @@ class Testbed {
   TestbedConfig config_;
   TestbedAddresses addr_;
 
-  std::unique_ptr<link::Switch> switch_;
-  std::vector<std::unique_ptr<link::Link>> links_;
+  // The wired topology (switch, links, hosts); built by TopologyBuilder with
+  // the legacy construction order, so artifacts match the hard-coded wiring
+  // this preset replaced.
+  std::unique_ptr<Fabric> fabric_;
   // Two injectors per faulted link (one per direction), in link order;
   // labels_ mirror the link/side naming used by register_metrics.
   std::vector<std::unique_ptr<link::FaultInjector>> fault_injectors_;
   std::vector<std::string> fault_labels_;
-  std::unique_ptr<stack::Host> policy_host_;
-  std::unique_ptr<stack::Host> attacker_;
-  std::unique_ptr<stack::Host> client_;
-  std::unique_ptr<stack::Host> target_;
+  stack::Host* policy_host_ = nullptr;  // owned by fabric_
+  stack::Host* attacker_ = nullptr;
+  stack::Host* client_ = nullptr;
+  stack::Host* target_ = nullptr;
 
   firewall::FirewallNic* target_fw_ = nullptr;   // owned by target_
   firewall::FirewallNic* client_fw_ = nullptr;   // owned by client_ (VPG only)

@@ -8,13 +8,22 @@
 // exhaust memory (it instead churns the table and gains nothing, which is
 // exactly why statefulness repairs Figure 2's depth penalty but not
 // Figure 3's flood vulnerability).
+//
+// Storage: each live flow's canonical tuple is interned once in a slab
+// (net::FiveTupleSlab) and referenced by a 32-bit handle from (a) an
+// open-addressing slot array and (b) intrusive LRU links — three flat
+// vectors total, zero allocations per flow in steady state. The previous
+// implementation paid an unordered_map node plus a std::list node per flow
+// (two heap allocations and two tuple copies); under a spoofed flood that
+// churn was the table's dominant cost. Semantics (hit/miss/expire/evict
+// order and counters) are unchanged.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "net/five_tuple.h"
+#include "net/intern.h"
 #include "sim/time.h"
 
 namespace barb::firewall {
@@ -34,7 +43,7 @@ struct FlowStateStats {
 
 class FlowStateTable {
  public:
-  explicit FlowStateTable(FlowStateConfig config = {}) : config_(config) {}
+  explicit FlowStateTable(FlowStateConfig config = {});
 
   // True if the flow (in either direction) has live state; refreshes it.
   bool lookup(const net::FiveTuple& tuple, sim::TimePoint now);
@@ -43,10 +52,18 @@ class FlowStateTable {
   void insert(const net::FiveTuple& tuple, sim::TimePoint now);
 
   void clear();
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return live_; }
   const FlowStateStats& stats() const { return stats_; }
 
+  // Heap footprint: slot array + tuple slab + LRU/timestamp nodes.
+  std::size_t memory_bytes() const {
+    return slots_.capacity() * sizeof(std::uint32_t) + tuples_.memory_bytes() +
+           nodes_.capacity() * sizeof(Node);
+  }
+
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   // Direction-insensitive canonical form.
   static net::FiveTuple canonical(const net::FiveTuple& tuple) {
     const bool ordered =
@@ -55,14 +72,30 @@ class FlowStateTable {
     return ordered ? tuple : tuple.reversed();
   }
 
-  struct Entry {
+  struct Node {
     sim::TimePoint last_seen;
-    std::list<net::FiveTuple>::iterator lru_position;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
   };
 
+  std::size_t home_slot(const net::FiveTuple& tuple) const;
+  // Slot holding `tuple`, or the slot count if absent.
+  std::size_t find_slot(const net::FiveTuple& tuple) const;
+  // Backward-shift deletion keeping linear-probe chains contiguous.
+  void erase_slot(std::size_t slot);
+  void remove(std::size_t slot, std::uint32_t handle);
+
+  void lru_unlink(std::uint32_t handle);
+  void lru_push_front(std::uint32_t handle);
+
   FlowStateConfig config_;
-  std::unordered_map<net::FiveTuple, Entry> entries_;
-  std::list<net::FiveTuple> lru_;  // front = most recently used
+  net::FiveTupleSlab tuples_;
+  std::vector<Node> nodes_;            // indexed by tuple handle
+  std::vector<std::uint32_t> slots_;   // handle + 1; 0 = empty
+  std::size_t slot_mask_ = 0;
+  std::size_t live_ = 0;
+  std::uint32_t lru_head_ = kNil;      // most recently used
+  std::uint32_t lru_tail_ = kNil;      // eviction candidate
   FlowStateStats stats_;
 };
 

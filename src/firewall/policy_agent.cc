@@ -17,6 +17,10 @@ PolicyAgent::PolicyAgent(stack::Host& host, FirewallNic& nic, net::Ipv4Address s
 
 void PolicyAgent::start() { connect(); }
 
+void PolicyAgent::start_after(sim::Duration delay) {
+  reconnect_timer_ = host_.simulation().schedule(delay, [this] { connect(); });
+}
+
 void PolicyAgent::connect() {
   reader_ = PolicyMessageReader{};
   conn_ = host_.tcp_connect(server_ip_, server_port_);

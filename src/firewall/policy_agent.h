@@ -31,6 +31,10 @@ class PolicyAgent {
               std::uint16_t server_port = 3456);
 
   void start();
+  // Fleet-friendly start: schedules the first connect `delay` from now, so a
+  // thousand agents don't SYN the server in the same nanosecond (benches
+  // stagger by index; the paper's single agent just calls start()).
+  void start_after(sim::Duration delay);
 
   const PolicyAgentStats& stats() const { return stats_; }
   bool connected() const { return conn_ != nullptr; }

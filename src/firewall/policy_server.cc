@@ -33,6 +33,7 @@ void PolicyServer::start() {
       if (session->reader.corrupted()) {
         BARB_WARN("policy server: corrupted stream from %s, dropping",
                   session->agent.to_string().c_str());
+        ++stats_.corrupted_streams;
         session->conn->abort();
       }
     };
@@ -56,6 +57,44 @@ void PolicyServer::set_policy(net::Ipv4Address agent, std::string policy_text) {
   entry.text = std::move(policy_text);
   ++entry.version;
   push_policy(agent);
+}
+
+std::size_t PolicyServer::set_policy_all(std::span<const net::Ipv4Address> agents,
+                                         const std::string& policy_text) {
+  std::size_t pushed = 0;
+  for (const auto& agent : agents) {
+    const bool live = sessions_.contains(agent);
+    set_policy(agent, policy_text);
+    if (live) ++pushed;
+  }
+  return pushed;
+}
+
+std::size_t PolicyServer::count_connected() const {
+  std::size_t n = 0;
+  for (const auto& [ip, status] : agents_) n += status.connected ? 1 : 0;
+  return n;
+}
+
+std::size_t PolicyServer::count_acked_at_least(std::uint64_t version) const {
+  std::size_t n = 0;
+  for (const auto& [ip, status] : agents_) n += status.acked_version >= version ? 1 : 0;
+  return n;
+}
+
+void PolicyServer::register_metrics(telemetry::MetricRegistry& registry,
+                                    const std::string& labels) {
+  registry.counter_fn("policy.pushes", labels,
+                      [this] { return static_cast<double>(stats_.pushes); });
+  registry.counter_fn("policy.push_bytes", labels,
+                      [this] { return static_cast<double>(stats_.push_bytes); });
+  registry.counter_fn("policy.acks", labels,
+                      [this] { return static_cast<double>(stats_.acks); });
+  registry.counter_fn("policy.heartbeats", labels,
+                      [this] { return static_cast<double>(stats_.heartbeats); });
+  registry.gauge("policy.connected", labels, [this] {
+    return static_cast<double>(count_connected());
+  });
 }
 
 void PolicyServer::create_vpg(std::uint32_t vpg_id,
@@ -101,12 +140,14 @@ void PolicyServer::push_policy(net::Ipv4Address agent) {
   msg.body = render_policy_body(agent);
   send_to(agent, msg);
   agents_[agent].pushed_version = policies_[agent].version;
+  ++stats_.pushes;
 }
 
 void PolicyServer::send_to(net::Ipv4Address agent, const PolicyMessage& msg) {
   auto sit = sessions_.find(agent);
   if (sit == sessions_.end()) return;
   const auto bytes = encode_policy_message(msg, key_);
+  stats_.push_bytes += msg.type == PolicyMsgType::kPolicyUpdate ? bytes.size() : 0;
   sit->second->conn->send(bytes);
 }
 
@@ -132,6 +173,7 @@ void PolicyServer::handle_message(Session& session, const PolicyMessage& msg) {
       auto& status = agents_[*ip];
       status.connected = true;
       status.last_heartbeat = host_.simulation().now();
+      ++stats_.hellos;
       if (policies_.contains(*ip)) push_policy(*ip);
       break;
     }
@@ -141,6 +183,7 @@ void PolicyServer::handle_message(Session& session, const PolicyMessage& msg) {
       if (std::sscanf(msg.body.c_str(), "version %llu",
                       reinterpret_cast<unsigned long long*>(&version)) == 1) {
         agents_[session.agent].acked_version = version;
+        ++stats_.acks;
       }
       break;
     }
@@ -149,6 +192,7 @@ void PolicyServer::handle_message(Session& session, const PolicyMessage& msg) {
       auto& status = agents_[session.agent];
       status.last_heartbeat = host_.simulation().now();
       ++status.heartbeats;
+      ++stats_.heartbeats;
       status.reported_locked = msg.body.find("status locked") != std::string::npos;
       break;
     }

@@ -18,6 +18,7 @@
 #include "firewall/policy_protocol.h"
 #include "stack/host.h"
 #include "stack/tcp.h"
+#include "telemetry/registry.h"
 
 namespace barb::firewall {
 
@@ -35,6 +36,17 @@ struct AgentStatus {
   std::uint64_t heartbeats = 0;
 };
 
+// Aggregate distribution counters over every agent the server talks to (the
+// fleet benches chart these; per-agent detail stays in AgentStatus).
+struct PolicyServerStats {
+  std::uint64_t hellos = 0;           // identified enrollments (incl. re-enrolls)
+  std::uint64_t pushes = 0;           // policy-update messages sent
+  std::uint64_t push_bytes = 0;       // encoded bytes of those pushes
+  std::uint64_t acks = 0;             // acks received
+  std::uint64_t heartbeats = 0;       // heartbeats received
+  std::uint64_t corrupted_streams = 0;
+};
+
 class PolicyServer {
  public:
   static constexpr std::uint16_t kDefaultPort = 3456;
@@ -47,6 +59,12 @@ class PolicyServer {
 
   // Sets the policy for an agent host; pushes immediately if connected.
   void set_policy(net::Ipv4Address agent, std::string policy_text);
+
+  // Fleet fan-out: sets the same policy text for every listed agent (each
+  // gets its own versioned entry and an immediate push when connected).
+  // Returns the number of pushes sent synchronously.
+  std::size_t set_policy_all(std::span<const net::Ipv4Address> agents,
+                             const std::string& policy_text);
 
   // Creates a VPG across a group of agent hosts: every member receives the
   // same group master key (the rule itself must be part of each host's
@@ -65,6 +83,17 @@ class PolicyServer {
   const std::map<net::Ipv4Address, AgentStatus>& agents() const { return agents_; }
   // Version currently configured for an agent (0 if none).
   std::uint64_t policy_version(net::Ipv4Address agent) const;
+
+  const PolicyServerStats& stats() const { return stats_; }
+  // Agents with a live identified session.
+  std::size_t count_connected() const;
+  // Agents whose acked policy version is >= `version` (convergence metric).
+  std::size_t count_acked_at_least(std::uint64_t version) const;
+
+  // Registers distribution counters/gauges ("policy.*") for the fleet
+  // benches. Opt-in: not part of the figure testbed's metric set.
+  void register_metrics(telemetry::MetricRegistry& registry,
+                        const std::string& labels);
 
  private:
   struct Session;
@@ -88,6 +117,7 @@ class PolicyServer {
   std::map<net::Ipv4Address, std::shared_ptr<Session>> sessions_;
   std::vector<std::shared_ptr<Session>> pending_;  // connected, no hello yet
   std::uint64_t next_seq_ = 1;
+  PolicyServerStats stats_;
 };
 
 }  // namespace barb::firewall

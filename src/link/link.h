@@ -6,6 +6,20 @@
 // frames). Each LinkPort owns a finite drop-tail transmit queue; the queue on
 // the switch side of a link is exactly the switch egress queue, which is what
 // couples a flood to legitimate traffic in the paper's no-firewall baseline.
+//
+// Delivery engines. The classic per-frame engine costs two scheduler events
+// per frame (delivery + transmitter-free), and every queued frame holds a
+// pending event — at fleet scale that is the dominant scheduler load. The
+// batched engine replays the identical timeline from a virtual serialization
+// clock: send() computes each frame's serialization window and delivery time
+// arithmetically, frames wait in a per-port delivery queue, and ONE armed
+// timer per port direction delivers the head and re-arms for the next. TX
+// accounting is applied lazily (advance-on-read) so sampled metrics see the
+// same values at the same instants; the pending-event population drops from
+// O(frames in flight) to O(port directions) and the transmitter-free events
+// vanish. Ports with a fault injector always take the per-frame path: the
+// injector draws RNG at serialization start, and only the per-frame engine
+// executes an event there.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +41,16 @@ struct LinkConfig {
   // byte accounting matters under flood: minimum-size attack frames are ~25x
   // cheaper to queue than full-size data frames).
   std::size_t queue_bytes = 150 * 1024;
+  // Selects the batched delivery engine for both ports of this link. The
+  // timeline is identical either way (gated byte-identical on the paper
+  // figures); batched is the default for fleet fabrics, per-frame for the
+  // 4-host testbed preset.
+  bool batched = false;
 };
+
+// Effective delivery mode for newly built links: the BARB_LINK_BATCH
+// environment variable ("1"/"0") overrides the builder's default.
+bool batch_delivery_enabled(bool default_batched);
 
 struct LinkPortStats {
   std::uint64_t tx_frames = 0;
@@ -47,6 +70,8 @@ class FaultInjector;
 // frames from the peer are handed to the connected sink.
 class LinkPort {
  public:
+  ~LinkPort();
+
   // Registers the local receiver for frames arriving from the peer.
   void connect_sink(FrameSink* sink) { sink_ = sink; }
   FrameSink* sink() const { return sink_; }
@@ -57,16 +82,17 @@ class LinkPort {
   // removes it; not owned). Every frame this port serializes is routed
   // through the injector, which may drop, corrupt, duplicate, delay, or
   // reorder its delivery to the peer. Without an injector the port takes
-  // the exact fault-free path and performs no RNG draws.
-  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  // the exact fault-free path and performs no RNG draws. Install before any
+  // traffic: a port must run one delivery engine for its whole lifetime.
+  void set_fault_injector(FaultInjector* injector);
   FaultInjector* fault_injector() const { return fault_; }
 
   // Enqueues a frame for transmission; drops it if the TX queue is full.
   void send(net::Packet pkt);
 
-  const LinkPortStats& stats() const { return stats_; }
-  std::size_t queue_depth() const { return queue_.size() + (transmitting_ ? 1 : 0); }
-  std::size_t queued_bytes() const { return queued_bytes_; }
+  const LinkPortStats& stats() const;
+  std::size_t queue_depth() const;
+  std::size_t queued_bytes() const;
   bool connected() const { return link_ != nullptr; }
 
   // Registers this port's stats (frames/bytes/drops/busy time, queue depth)
@@ -82,6 +108,7 @@ class LinkPort {
   friend class Link;
   friend class FaultInjector;
 
+  // --- per-frame engine ---
   void start_transmission(net::Packet pkt);
   void on_transmit_complete();
   // Schedules delivery of `pkt` to the peer after `delay`; rx accounting
@@ -89,14 +116,43 @@ class LinkPort {
   // two times per transmitted frame.
   void schedule_delivery(net::Packet pkt, sim::Duration delay);
 
+  // --- batched engine ---
+  struct PendingFrame {
+    sim::TimePoint ser_start;   // transmitter picks the frame up
+    sim::TimePoint deliver_at;  // serialization end + propagation
+    sim::Duration tx_time;      // serialization time (busy_time contribution)
+    std::size_t bytes = 0;
+    net::Packet pkt;
+  };
+
+  bool use_batched() const;
+  // Applies TX-side accounting (tx_frames/tx_bytes/busy_time, queue drain)
+  // for every pending frame whose serialization has started by `now`.
+  // Observers (stats(), queue gauges) advance to the current instant before
+  // reading, so sampled values match the per-frame engine's exactly.
+  void advance_accounting(sim::TimePoint now) const;
+  void deliver_batch();
+  void arm_batch_timer(sim::TimePoint at);
+
   Link* link_ = nullptr;
   LinkPort* peer_ = nullptr;
   FrameSink* sink_ = nullptr;
   FaultInjector* fault_ = nullptr;
+
+  // Per-frame engine state.
   std::deque<net::Packet> queue_;
-  std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
-  LinkPortStats stats_;
+
+  // Batched engine state: frames sent but not yet delivered, FIFO in
+  // serialization (= delivery) order. Entries below acct_idx_ have had their
+  // TX accounting applied; queued_bytes_ sums the entries above it.
+  std::deque<PendingFrame> pending_;
+  mutable std::size_t acct_idx_ = 0;
+  sim::TimePoint tx_free_at_;
+  sim::EventHandle batch_timer_;
+
+  mutable std::size_t queued_bytes_ = 0;
+  mutable LinkPortStats stats_;
 };
 
 class Link {

@@ -1,5 +1,7 @@
 #include "link/switch.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "net/frame_view.h"
@@ -16,8 +18,24 @@ struct Switch::PortSink : FrameSink {
   void deliver(net::Packet pkt) override { parent->handle_frame(index, std::move(pkt)); }
 };
 
+namespace {
+
+// Slots never transition filled -> empty (evictions replace in place), so a
+// key always lives within the probe window of its home slot.
+std::uint64_t fib_key(const net::MacAddress& mac) {
+  // +1 keeps 0 as the empty-slot sentinel even for the all-zero address.
+  return mac.to_u64() + 1;
+}
+
+}  // namespace
+
 Switch::Switch(sim::Simulation& sim, std::string name, SwitchConfig config)
-    : sim_(sim), name_(std::move(name)), config_(config) {}
+    : sim_(sim), name_(std::move(name)), config_(config) {
+  const std::size_t capacity =
+      std::bit_ceil(std::max<std::size_t>(config_.fib_capacity, 2 * kProbeWindow));
+  fib_.resize(capacity);
+  fib_mask_ = capacity - 1;
+}
 
 Switch::~Switch() = default;
 
@@ -29,11 +47,96 @@ int Switch::attach(LinkPort& port) {
   return index;
 }
 
+std::size_t Switch::home_slot(std::uint64_t key) const {
+  // splitmix64 finalizer: full-avalanche spread of the 48-bit MAC space
+  // across the slot array.
+  std::uint64_t h = key;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h) & fib_mask_;
+}
+
 int Switch::lookup(const net::MacAddress& mac) const {
-  auto it = mac_table_.find(mac);
-  if (it == mac_table_.end()) return -1;
-  if (sim_.now() - it->second.learned > config_.mac_table_aging) return -1;
-  return it->second.port;
+  const std::uint64_t key = fib_key(mac);
+  const std::size_t home = home_slot(key);
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const FibEntry& entry = fib_[(home + i) & fib_mask_];
+    if (entry.key != key) continue;
+    if (!entry.pinned && sim_.now() - entry.learned > config_.mac_table_aging) {
+      return -1;  // aged out; the slot stays until relearned or evicted
+    }
+    return entry.port;
+  }
+  return -1;
+}
+
+void Switch::learn(const net::MacAddress& mac, int port) {
+  const std::uint64_t key = fib_key(mac);
+  const std::size_t home = home_slot(key);
+  std::size_t empty_slot = fib_.size();   // sentinel: none found
+  std::size_t victim_slot = fib_.size();  // stalest unpinned in the window
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const std::size_t slot = (home + i) & fib_mask_;
+    FibEntry& entry = fib_[slot];
+    if (entry.key == key) {
+      if (entry.pinned) return;  // static topology entries win over learning
+      entry.port = port;
+      entry.learned = sim_.now();
+      return;
+    }
+    if (entry.key == 0) {
+      if (empty_slot == fib_.size()) empty_slot = slot;
+      continue;
+    }
+    if (!entry.pinned &&
+        (victim_slot == fib_.size() || entry.learned < fib_[victim_slot].learned)) {
+      victim_slot = slot;
+    }
+  }
+  std::size_t slot = empty_slot;
+  if (slot == fib_.size()) {
+    if (victim_slot == fib_.size()) return;  // window full of pinned entries
+    slot = victim_slot;
+    ++stats_.fib_evictions;
+  } else {
+    ++fib_live_;
+  }
+  fib_[slot] = FibEntry{key, port, false, sim_.now()};
+}
+
+bool Switch::preload(const net::MacAddress& mac, int port) {
+  const std::uint64_t key = fib_key(mac);
+  const std::size_t home = home_slot(key);
+  std::size_t empty_slot = fib_.size();
+  std::size_t victim_slot = fib_.size();
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    const std::size_t slot = (home + i) & fib_mask_;
+    FibEntry& entry = fib_[slot];
+    if (entry.key == key) {
+      entry.port = port;
+      entry.pinned = true;
+      entry.learned = sim_.now();
+      return true;
+    }
+    if (entry.key == 0) {
+      if (empty_slot == fib_.size()) empty_slot = slot;
+    } else if (!entry.pinned && victim_slot == fib_.size()) {
+      victim_slot = slot;
+    }
+  }
+  std::size_t slot = empty_slot;
+  if (slot == fib_.size()) {
+    if (victim_slot == fib_.size()) return false;
+    slot = victim_slot;
+    ++stats_.fib_evictions;
+  } else {
+    ++fib_live_;
+  }
+  fib_[slot] = FibEntry{key, port, true, sim_.now()};
+  return true;
 }
 
 void Switch::handle_frame(int ingress, net::Packet pkt) {
@@ -44,8 +147,8 @@ void Switch::handle_frame(int ingress, net::Packet pkt) {
   const net::EthernetHeader& eth = view->eth;
 
   // Learn the source address on the ingress port.
-  if (!eth.src.is_multicast()) {
-    mac_table_[eth.src] = MacEntry{ingress, sim_.now()};
+  if (config_.learning && !eth.src.is_multicast()) {
+    learn(eth.src, ingress);
   }
 
   const int egress = eth.dst.is_multicast() ? -1 : lookup(eth.dst);
@@ -65,6 +168,13 @@ void Switch::handle_frame(int ingress, net::Packet pkt) {
   if (egress >= 0) {
     ++stats_.forwarded;
     deliver_after_latency(egress, std::move(pkt));
+    return;
+  }
+
+  if (!config_.flood_unknown) {
+    // Redundant-path fabrics run with a fully preloaded FIB and flooding
+    // off; an unknown destination is a misconfiguration, not a broadcast.
+    ++stats_.no_route_drops;
     return;
   }
 
@@ -99,6 +209,18 @@ void Switch::register_metrics(telemetry::MetricRegistry& registry,
                    telemetry::join_labels(labels, "port=" + std::to_string(p)),
                    [port] { return static_cast<double>(port->queued_bytes()); });
   }
+}
+
+void Switch::register_fib_metrics(telemetry::MetricRegistry& registry,
+                                  const std::string& labels) const {
+  registry.counter_fn("switch.fib_evictions", labels,
+                      [this] { return static_cast<double>(stats_.fib_evictions); });
+  registry.counter_fn("switch.no_route_drops", labels,
+                      [this] { return static_cast<double>(stats_.no_route_drops); });
+  registry.gauge("switch.fib_entries", labels,
+                 [this] { return static_cast<double>(fib_size()); });
+  registry.gauge("switch.fib_bytes", labels,
+                 [this] { return static_cast<double>(fib_memory_bytes()); });
 }
 
 }  // namespace barb::link

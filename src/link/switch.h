@@ -1,17 +1,26 @@
 // Store-and-forward learning Ethernet switch (the testbed's 3COM 3C16734A).
 //
 // Frames arrive fully serialized (the Link model delivers whole frames), are
-// looked up in the learned MAC table after a small forwarding latency, and
+// looked up in the MAC forwarding table after a small forwarding latency, and
 // are queued on the egress LinkPort. Unknown destinations and broadcasts
-// flood to all other ports. The paper verified the switch itself was not the
-// bottleneck; our model preserves that property (forwarding capacity is
-// per-port line rate).
+// flood to all other ports (when flooding is enabled). The paper verified the
+// switch itself was not the bottleneck; our model preserves that property
+// (forwarding capacity is per-port line rate).
+//
+// The forwarding table is a bounded open-addressing FIB, not a growable map:
+// a spoofed-source flood used to grow the table without limit, which a
+// fleet-scale flood scenario turns into unbounded memory. Entries hash into a
+// fixed power-of-two slot array; a full probe window evicts the stalest
+// unpinned entry (counted in `fib_evictions`). Static fabrics preload pinned
+// entries (never aged, never evicted) and can switch learning and unknown-
+// destination flooding off entirely — multi-spine fabrics are loopy at L2, so
+// flooding there would melt the simulation exactly the way it melts a real
+// network without spanning tree.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "link/link.h"
@@ -23,12 +32,23 @@ namespace barb::link {
 struct SwitchConfig {
   sim::Duration forwarding_delay = sim::Duration::microseconds(4);
   sim::Duration mac_table_aging = sim::Duration::seconds(300);
+  // FIB slot count; rounded up to a power of two. Bounds memory no matter
+  // how many source addresses a flood spoofs.
+  std::size_t fib_capacity = 4096;
+  // Learn source addresses from traffic. Static fabrics preload the FIB and
+  // turn this off.
+  bool learning = true;
+  // Flood unknown unicast / multicast out every other port. Safe only on
+  // loop-free topologies; fabrics with redundant paths must disable it.
+  bool flood_unknown = true;
 };
 
 struct SwitchStats {
   std::uint64_t forwarded = 0;
-  std::uint64_t flooded = 0;   // unknown unicast / broadcast
-  std::uint64_t filtered = 0;  // destination learned on the ingress port
+  std::uint64_t flooded = 0;    // unknown unicast / broadcast
+  std::uint64_t filtered = 0;   // destination learned on the ingress port
+  std::uint64_t fib_evictions = 0;  // probe window full, stalest entry replaced
+  std::uint64_t no_route_drops = 0;  // unknown destination, flooding disabled
 };
 
 class Switch {
@@ -46,33 +66,63 @@ class Switch {
   int num_ports() const { return static_cast<int>(ports_.size()); }
   const SwitchStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
+  const SwitchConfig& config() const { return config_; }
+
+  // Installs a static FIB entry: pinned (never aged or evicted), as a
+  // topology builder does for fabrics that run with learning off. Returns
+  // false if the probe window is already full of pinned entries.
+  bool preload(const net::MacAddress& mac, int port);
 
   // Registers forwarding counters plus a per-port egress queue-depth gauge
   // ("switch.egress_queue_depth"{...,port=N}) for every currently attached
-  // port. Call after the topology is built.
+  // port. Call after the topology is built. Deliberately does NOT include
+  // the FIB counters (see register_fib_metrics): the paper figures sample
+  // this metric set into timelines, and their artifacts are a byte-identity
+  // regression gate.
   void register_metrics(telemetry::MetricRegistry& registry,
                         const std::string& labels) const;
 
-  // Learned port for a MAC, or -1 (exposed for tests).
+  // FIB occupancy/eviction/no-route counters plus the table's memory
+  // footprint ("switch.fib_*"). Opt-in for fleet benches.
+  void register_fib_metrics(telemetry::MetricRegistry& registry,
+                            const std::string& labels) const;
+
+  // Learned/preloaded port for a MAC, or -1 (exposed for tests).
   int lookup(const net::MacAddress& mac) const;
+
+  // Live (non-empty) FIB entries.
+  std::size_t fib_size() const { return fib_live_; }
+  // Heap footprint of the FIB slot array.
+  std::size_t fib_memory_bytes() const { return fib_.capacity() * sizeof(FibEntry); }
 
  private:
   struct PortSink;
 
-  void handle_frame(int ingress, net::Packet pkt);
-  void forward(int egress, net::Packet pkt);
+  // Linear-probe window: how many slots past the home slot are examined
+  // before the stalest one is evicted. Small and fixed so lookup cost is
+  // bounded even when a flood saturates the table.
+  static constexpr std::size_t kProbeWindow = 8;
 
-  struct MacEntry {
-    int port;
+  struct FibEntry {
+    std::uint64_t key = 0;  // MacAddress::to_u64() + 1; 0 = empty slot
+    std::int32_t port = -1;
+    bool pinned = false;
     sim::TimePoint learned;
   };
+
+  void handle_frame(int ingress, net::Packet pkt);
+  void forward(int egress, net::Packet pkt);
+  void learn(const net::MacAddress& mac, int port);
+  std::size_t home_slot(std::uint64_t key) const;
 
   sim::Simulation& sim_;
   std::string name_;
   SwitchConfig config_;
   std::vector<LinkPort*> ports_;
   std::vector<std::unique_ptr<PortSink>> sinks_;
-  std::unordered_map<net::MacAddress, MacEntry> mac_table_;
+  std::vector<FibEntry> fib_;
+  std::size_t fib_mask_ = 0;
+  std::size_t fib_live_ = 0;
   SwitchStats stats_;
 };
 

@@ -11,6 +11,7 @@
 #include "apps/flood_generator.h"
 #include "core/runner.h"
 #include "core/testbed.h"
+#include "core/topology.h"
 #include "firewall/classifier/compiled_classifier.h"
 #include "firewall/classifier/flow_cache.h"
 #include "firewall/rule_set.h"
@@ -36,6 +37,7 @@ constexpr std::uint64_t kScenarioSalt = 0x5ce7a8105ce7a810ULL;
 constexpr std::uint64_t kDifferentialSalt = 0xd1ffd1ffd1ffd1ffULL;
 constexpr std::uint64_t kSchedulerSalt = 0x5c4edc0de5c4edc0ULL;
 constexpr std::uint64_t kStarFaultSalt = 0xfa7e57a2fa7e57a2ULL;
+constexpr std::uint64_t kFabricSalt = 0xfab21c05fab21c05ULL;
 
 struct Failures {
   std::vector<std::string>* out;
@@ -874,6 +876,216 @@ void run_star_scenario(const Scenario& s, std::vector<std::string>* failures,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fabric scenarios (multi-switch topologies from TopologyBuilder)
+// ---------------------------------------------------------------------------
+
+// A randomized leaf-spine or campus-tree fabric, 2..64 hosts, with TCP
+// transfers between random host pairs. Runs under the same conservation /
+// NIC-accounting / TCP-safety / monotonicity oracles as the legacy families,
+// plus two fabric-specific ones: every switch must hold a route to every
+// host (all_hosts_routed), and the batched link engine must reproduce the
+// per-frame engine's transfer outcomes exactly.
+//
+// Drawn from its own salted stream (kFabricSalt): the legacy testbed/star
+// generators see zero new draws, so their scenarios stay stable per seed.
+struct FabricScenario {
+  bool tree = false;  // campus tree vs leaf-spine
+  int hosts = 2;
+  int group = 4;   // hosts per leaf / per edge switch
+  int spines = 1;  // leaf-spine only
+  std::vector<core::FirewallKind> nic_kinds;  // per host
+  int padding_rules = 0;  // inert deny rules ahead of the allow-all default
+  std::vector<TransferPlan> transfers;
+};
+
+FabricScenario generate_fabric_scenario(std::uint64_t seed) {
+  sim::Random rng(core::derive_point_seed(seed ^ kFabricSalt, 0));
+  FabricScenario s;
+  s.tree = rng.bernoulli(0.4);
+  s.hosts = static_cast<int>(2 + rng.uniform(63));  // 2..64
+  const int groups[] = {2, 4, 8, 16};
+  s.group = groups[rng.uniform(4)];
+  s.spines = static_cast<int>(1 + rng.uniform(3));
+  for (int i = 0; i < s.hosts; ++i) {
+    const auto k = rng.uniform(4);
+    s.nic_kinds.push_back(k == 0   ? core::FirewallKind::kEfw
+                          : k == 1 ? core::FirewallKind::kAdf
+                                   : core::FirewallKind::kNone);
+  }
+  s.padding_rules = static_cast<int>(rng.uniform(16));
+  const int n_transfers = static_cast<int>(1 + rng.uniform(3));
+  for (int i = 0; i < n_transfers; ++i) {
+    TransferPlan t;
+    t.from = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(s.hosts)));
+    do {
+      t.to = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(s.hosts)));
+    } while (t.to == t.from);
+    t.port = static_cast<std::uint16_t>(6000 + i);
+    t.bytes = 10'000 + rng.uniform(100'000);
+    s.transfers.push_back(t);
+  }
+  return s;
+}
+
+std::unique_ptr<core::Fabric> build_fabric(sim::Simulation& sim,
+                                           const FabricScenario& s,
+                                           bool batched) {
+  auto nic_for = [&s](int index) {
+    core::NicSpec nic;
+    nic.kind = s.nic_kinds[static_cast<std::size_t>(index)];
+    return nic;
+  };
+  std::unique_ptr<core::Fabric> fabric;
+  if (s.tree) {
+    core::CampusTreeSpec spec;
+    spec.hosts = s.hosts;
+    spec.hosts_per_edge = s.group;
+    spec.nic_for = nic_for;
+    spec.batched_links = batched;
+    fabric = core::build_campus_tree(sim, spec);
+  } else {
+    core::LeafSpineSpec spec;
+    spec.hosts = s.hosts;
+    spec.hosts_per_leaf = s.group;
+    spec.spines = s.spines;
+    spec.nic_for = nic_for;
+    spec.batched_links = batched;
+    fabric = core::build_leaf_spine(sim, spec);
+  }
+  // Firewalled hosts get a permissive policy with inert padding ahead of the
+  // default (a fresh FirewallNic default-denies, which would just stall the
+  // transfers; firewall *semantics* are fuzzed by the testbed family).
+  firewall::RuleSet permissive;
+  for (int i = 0; i < s.padding_rules; ++i) {
+    firewall::Rule r;
+    r.action = firewall::RuleAction::kDeny;
+    r.protocol = 6;
+    r.dst_net = net::Ipv4Address(192, 168, 0, static_cast<std::uint8_t>(i + 1));
+    r.dst_prefix = 32;
+    permissive.add(r);
+  }
+  permissive.set_default_action(firewall::RuleAction::kAllow);
+  for (int i = 0; i < fabric->num_hosts(); ++i) {
+    if (auto* fw = fabric->firewall(i)) fw->install_rule_set(permissive);
+  }
+  return fabric;
+}
+
+// One engine's observable outcome, for the batched-vs-per-frame comparison.
+struct FabricRun {
+  std::vector<std::size_t> received;  // per transfer
+  std::vector<bool> complete;
+  std::uint64_t access_tx_frames = 0;  // summed over host access links
+  std::uint64_t access_rx_frames = 0;
+};
+
+FabricRun run_fabric_once(const FabricScenario& s, std::uint64_t seed,
+                          bool batched, std::vector<std::string>* failures,
+                          std::string* trace_tail, const FuzzOptions& options) {
+  Failures fail{failures};
+  sim::Simulation sim(seed);
+  auto fabric = build_fabric(sim, s, batched);
+
+  if (!fabric->all_hosts_routed()) {
+    fail("fabric: a switch is missing a preloaded route to some host (" +
+         std::string(s.tree ? "tree" : "leaf-spine") + " hosts=" +
+         std::to_string(s.hosts) + ")");
+  }
+
+  // Tap only the hosts that carry traffic; an idle 64-host fabric would
+  // dominate the tail with silence.
+  std::vector<std::unique_ptr<RingTap>> taps;
+  std::vector<int> tapped;
+  for (const auto& plan : s.transfers) {
+    for (int h : {plan.from, plan.to}) {
+      if (std::find(tapped.begin(), tapped.end(), h) != tapped.end()) continue;
+      tapped.push_back(h);
+      if (auto* port = fabric->host(h).nic().port()) {
+        taps.push_back(
+            splice_tap(sim, *port, "h" + std::to_string(h), options.trace_tail));
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<TransferProbe>> probes;
+  for (const auto& plan : s.transfers) {
+    auto probe = std::make_unique<TransferProbe>();
+    probe->plan = plan;
+    setup_transfer(*probe, fabric->host(plan.from), fabric->host(plan.to));
+    probes.push_back(std::move(probe));
+  }
+
+  run_to_quiescence(sim, fail);
+
+  FabricRun out;
+  for (int i = 0; i < fabric->num_hosts(); ++i) {
+    if (auto* port = fabric->host(i).nic().port()) {
+      check_link(*port, "fabric-h" + std::to_string(i), fail);
+    }
+    check_nic(fabric->host(i), "fabric-h" + std::to_string(i), fail);
+    auto& access = fabric->host_link(i);
+    out.access_tx_frames += access.a().stats().tx_frames;
+    out.access_rx_frames += access.a().stats().rx_frames;
+  }
+  for (const auto& tap : taps) {
+    if (tap->monotonic_violation()) {
+      fail("scheduler: deliveries at fabric port " + tap->name() +
+           " observed out of time order");
+    }
+  }
+  const bool contention = s.transfers.size() > 1;
+  for (const auto& probe : probes) {
+    check_transfer(*probe, /*faults=*/false, contention, fail);
+    out.received.push_back(probe->receiver.received());
+    out.complete.push_back(probe->receiver.received() == probe->plan.bytes &&
+                           probe->receiver.eof());
+  }
+
+  if (!failures->empty() && trace_tail->empty()) {
+    for (const auto& tap : taps) *trace_tail += tap->tail_text();
+  }
+  return out;
+}
+
+void run_fabric_scenario(const FabricScenario& s, std::uint64_t seed,
+                         std::vector<std::string>* failures,
+                         std::string* trace_tail, const FuzzOptions& options) {
+  Failures fail{failures};
+  const FabricRun batched =
+      run_fabric_once(s, seed, /*batched=*/true, failures, trace_tail, options);
+  const FabricRun per_frame =
+      run_fabric_once(s, seed, /*batched=*/false, failures, trace_tail, options);
+
+  // The batched engine is an optimization, not a model change: same frames,
+  // same bytes, same completions.
+  if (batched.received != per_frame.received ||
+      batched.complete != per_frame.complete) {
+    std::string detail;
+    for (std::size_t i = 0; i < batched.received.size(); ++i) {
+      detail += " transfer" + std::to_string(i) + "=" +
+                std::to_string(batched.received[i]) + "/" +
+                std::to_string(per_frame.received[i]);
+    }
+    fail("batched-identity: batched vs per-frame transfer outcomes diverged "
+         "(batched/per-frame):" + detail);
+  }
+  if (batched.access_tx_frames != per_frame.access_tx_frames ||
+      batched.access_rx_frames != per_frame.access_rx_frames) {
+    fail("batched-identity: access-link frame counts diverged (tx " +
+         std::to_string(batched.access_tx_frames) + " vs " +
+         std::to_string(per_frame.access_tx_frames) + ", rx " +
+         std::to_string(batched.access_rx_frames) + " vs " +
+         std::to_string(per_frame.access_rx_frames) + ")");
+  }
+}
+
+std::string fabric_summary(const FabricScenario& s) {
+  return std::string(" | fabric ") + (s.tree ? "tree" : "leaf-spine") +
+         " hosts=" + std::to_string(s.hosts) + " transfers=" +
+         std::to_string(s.transfers.size());
+}
+
 }  // namespace
 
 FuzzOutcome run_seed(std::uint64_t seed, const FuzzOptions& options) {
@@ -897,6 +1109,12 @@ FuzzOutcome run_seed(std::uint64_t seed, const FuzzOptions& options) {
   } else {
     run_testbed_scenario(scenario, &out.failures, &out.trace_tail, options);
   }
+
+  // Every seed additionally exercises a multi-switch fabric (its own salted
+  // stream, so the legacy scenario above is untouched).
+  const FabricScenario fabric = generate_fabric_scenario(seed);
+  out.summary += fabric_summary(fabric);
+  run_fabric_scenario(fabric, seed, &out.failures, &out.trace_tail, options);
 
   out.ok = out.failures.empty();
   return out;

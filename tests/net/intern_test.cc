@@ -1,0 +1,165 @@
+// Interned identifiers: handle stability, dedup, slab recycling, footprint
+// accounting, and the shared AddressDirectory fallback semantics.
+#include "net/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "stack/address_directory.h"
+#include "stack/arp_table.h"
+
+namespace barb::net {
+namespace {
+
+TEST(Interner, DeduplicatesAndKeepsHandlesStable) {
+  Ipv4Interner interner;
+  const auto a = interner.intern(Ipv4Address(10, 0, 0, 1));
+  const auto b = interner.intern(Ipv4Address(10, 0, 0, 2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern(Ipv4Address(10, 0, 0, 1)), a);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.get(a), Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(interner.get(b), Ipv4Address(10, 0, 0, 2));
+}
+
+TEST(Interner, FindDoesNotInsert) {
+  MacInterner interner;
+  EXPECT_EQ(interner.find(MacAddress::from_host_id(1)), kInvalidIntern);
+  const auto h = interner.intern(MacAddress::from_host_id(1));
+  EXPECT_EQ(interner.find(MacAddress::from_host_id(1)), h);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, MemoryGrowsWithDistinctValuesOnly) {
+  Ipv4Interner interner;
+  for (int i = 0; i < 1000; ++i) {
+    interner.intern(Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i % 8)));
+  }
+  EXPECT_EQ(interner.size(), 8u);
+  EXPECT_LT(interner.memory_bytes(), 4096u);
+}
+
+TEST(SlabInterner, RecyclesReleasedSlots) {
+  SlabInterner<int> slab;
+  const auto a = slab.intern(1);
+  const auto b = slab.intern(2);
+  EXPECT_EQ(slab.live(), 2u);
+  slab.release(a);
+  EXPECT_EQ(slab.live(), 1u);
+  const auto c = slab.intern(3);
+  EXPECT_EQ(c, a);  // the freed slot is reused
+  EXPECT_EQ(slab.get(c), 3);
+  EXPECT_EQ(slab.get(b), 2);
+  EXPECT_EQ(slab.slots(), 2u);  // never grew past the live high-water mark
+}
+
+TEST(SlabInterner, ChurnKeepsFootprintBounded) {
+  FiveTupleSlab slab;
+  // Flood-shaped churn: intern then release, a million times over.
+  std::mt19937_64 rng(7);
+  std::vector<InternHandle> live;
+  for (int i = 0; i < 100000; ++i) {
+    FiveTuple t;
+    t.src = Ipv4Address(10, 1, static_cast<std::uint8_t>(rng() & 0xff),
+                        static_cast<std::uint8_t>(rng() & 0xff));
+    t.dst = Ipv4Address(10, 0, 0, 1);
+    t.src_port = static_cast<std::uint16_t>(rng());
+    t.dst_port = 7777;
+    t.protocol = 17;
+    live.push_back(slab.intern(t));
+    if (live.size() > 64) {
+      slab.release(live.front());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_LE(slab.live(), 65u);
+  // Slot population bounded by the live window, not the 100k interned.
+  EXPECT_LE(slab.slots(), 128u);
+}
+
+// Golden-model comparison: SlabInterner against a plain map of live handles.
+TEST(SlabInterner, MatchesGoldenModelUnderRandomOps) {
+  SlabInterner<std::uint64_t> slab;
+  std::unordered_map<InternHandle, std::uint64_t> model;
+  std::mt19937_64 rng(99);
+  std::vector<InternHandle> handles;
+  for (int op = 0; op < 20000; ++op) {
+    if (model.empty() || (rng() & 3) != 0) {
+      const std::uint64_t value = rng();
+      const auto h = slab.intern(value);
+      ASSERT_FALSE(model.contains(h));  // released or fresh, never live
+      model[h] = value;
+      handles.push_back(h);
+    } else {
+      const std::size_t pick = rng() % handles.size();
+      const auto h = handles[pick];
+      handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(pick));
+      ASSERT_EQ(slab.get(h), model.at(h));
+      slab.release(h);
+      model.erase(h);
+    }
+    ASSERT_EQ(slab.live(), model.size());
+  }
+  for (const auto& [h, value] : model) EXPECT_EQ(slab.get(h), value);
+}
+
+TEST(AddressDirectory, LookupAfterFreeze) {
+  stack::AddressDirectory dir;
+  for (int i = 1; i <= 100; ++i) {
+    dir.add(Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i)),
+            MacAddress::from_host_id(static_cast<std::uint32_t>(i)));
+  }
+  dir.freeze();
+  EXPECT_EQ(dir.size(), 100u);
+  for (int i = 1; i <= 100; ++i) {
+    const auto mac = dir.lookup(Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i)));
+    ASSERT_TRUE(mac.has_value());
+    EXPECT_EQ(*mac, MacAddress::from_host_id(static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_FALSE(dir.lookup(Ipv4Address(10, 0, 0, 200)).has_value());
+}
+
+TEST(AddressDirectory, ArpTableFallsBackToDirectoryAndOverrides) {
+  stack::AddressDirectory dir;
+  dir.add(Ipv4Address(10, 0, 0, 1), MacAddress::from_host_id(1));
+  dir.add(Ipv4Address(10, 0, 0, 2), MacAddress::from_host_id(2));
+  dir.freeze();
+
+  stack::ArpTable arp;
+  arp.set_directory(&dir);
+  auto mac = arp.lookup(Ipv4Address(10, 0, 0, 2));
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, MacAddress::from_host_id(2));
+
+  // Private entries shadow the shared directory.
+  arp.add(Ipv4Address(10, 0, 0, 2), MacAddress::from_host_id(42));
+  mac = arp.lookup(Ipv4Address(10, 0, 0, 2));
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, MacAddress::from_host_id(42));
+
+  EXPECT_FALSE(arp.lookup(Ipv4Address(10, 9, 9, 9)).has_value());
+}
+
+TEST(AddressDirectory, SharedDirectoryBeatsFullMeshFootprint) {
+  constexpr int kHosts = 256;
+  stack::AddressDirectory dir;
+  for (int i = 0; i < kHosts; ++i) {
+    dir.add(Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i)),
+            MacAddress::from_host_id(static_cast<std::uint32_t>(i) + 1));
+  }
+  dir.freeze();
+
+  // One host's share of the directory vs. one full-mesh private ArpTable.
+  stack::ArpTable fullmesh;
+  for (int i = 0; i < kHosts - 1; ++i) {
+    fullmesh.add(Ipv4Address(10, 0, 1, static_cast<std::uint8_t>(i)),
+                 MacAddress::from_host_id(static_cast<std::uint32_t>(i) + 1));
+  }
+  EXPECT_LT(dir.memory_bytes() / kHosts, fullmesh.memory_bytes() / 4);
+}
+
+}  // namespace
+}  // namespace barb::net
