@@ -1,0 +1,251 @@
+// Micro-benchmark: conservative parallel DES engine vs the serial wheel.
+//
+// Drives a draw-free raw-frame workload — every host on a 1024-host
+// leaf-spine (256 in fast mode) periodically injects a UDP frame addressed
+// to a host half the fabric away, so most frames cross leaves and therefore
+// shards — through two engines:
+//
+//   serial  : the single timing-wheel Scheduler (the exact default path);
+//   sharded : the parallel engine under a kSpread partition (hosts travel
+//             with their leaf switch; trunks are the cut), K worker threads.
+//
+// The workload draws zero random numbers and every periodic source is
+// placed directly on its host's shard (ParallelEngine::schedule_on), so
+// both engines execute the identical event set. The bench always verifies
+// outcome identity — summed access-link tx/rx frames, NIC verdicts, and
+// total events executed must match the serial run exactly — and reports
+// wall-clock events/s for each engine.
+//
+// Gate: sharded events/s >= 2x serial. Enforced (nonzero exit) only when
+// BARB_REQUIRE_SPEEDUP=1; on machines without enough hardware threads for
+// K workers the ratio is informational (EXPERIMENTS.md records measured
+// numbers; the engine ships opt-in via BARB_DES_SHARDS). The identity
+// check is always enforced.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/topology.h"
+#include "link/link.h"
+#include "link/sharded_domain.h"
+#include "net/packet.h"
+#include "net/packet_builder.h"
+#include "sim/parallel_engine.h"
+#include "sim/simulation.h"
+#include "stack/host.h"
+
+namespace {
+
+using namespace barb;
+
+struct WorkloadParams {
+  int hosts = 1024;
+  int hosts_per_leaf = 16;
+  int spines = 2;
+  sim::Duration period = sim::Duration::microseconds(100);
+  sim::Duration duration = sim::Duration::milliseconds(100);
+};
+
+struct RunOutcome {
+  std::uint64_t access_tx = 0;
+  std::uint64_t access_rx = 0;
+  std::uint64_t nic_delivered = 0;
+  std::uint64_t nic_dropped = 0;
+  std::uint64_t events = 0;
+  double wall_secs = 0;
+};
+
+// One periodic source: re-injects a prebuilt frame every period. Runs only
+// on its host's shard thread (or the single serial thread), so the pooled
+// copy always comes from the executing thread's own BufferPool.
+struct Source {
+  sim::Simulation* sim = nullptr;
+  link::LinkPort* port = nullptr;
+  std::vector<std::uint8_t> bytes;  // prebuilt frame, owned per source
+  sim::Duration period;
+  sim::TimePoint stop_at;
+  std::uint64_t sent = 0;
+
+  void tick() {
+    port->send(net::Packet(bytes, sim->now(), ++sent));
+    const sim::TimePoint next = sim->now() + period;
+    if (next < stop_at) {
+      sim->schedule_at(next, [this] { tick(); });
+    }
+  }
+};
+
+RunOutcome run_once(const WorkloadParams& p, int shards) {
+  sim::Simulation sim(1);
+  core::LeafSpineSpec spec;
+  spec.hosts = p.hosts;
+  spec.hosts_per_leaf = p.hosts_per_leaf;
+  spec.spines = p.spines;
+  // Declared before the fabric: the domain's shard schedulers must outlive
+  // the links whose destructors cancel EventHandles living on them.
+  std::unique_ptr<link::ShardedLinkDomain> domain;
+  auto fabric = core::build_leaf_spine(sim, spec);
+  core::ShardPlan plan;
+  if (shards > 1) {
+    // kSpread keeps each host on its leaf's shard: access links stay
+    // shard-internal and only trunks are cut. The workload is draw-free,
+    // which is what lets the RNG home shard be "nowhere".
+    plan = core::partition_fabric(*fabric, shards,
+                                  core::ShardPartition::kSpread);
+    domain = core::make_sharded_domain(*fabric, plan);
+  }
+
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(static_cast<std::size_t>(p.hosts));
+  for (int i = 0; i < p.hosts; ++i) {
+    auto src = std::make_unique<Source>();
+    src->sim = &sim;
+    src->port = fabric->host(i).nic().port();
+    const int target = (i + p.hosts / 2) % p.hosts;
+    net::IpEndpoints ep;
+    ep.src_ip = fabric->host(i).ip();
+    ep.dst_ip = fabric->host(target).ip();
+    ep.src_mac = fabric->host(i).mac();
+    ep.dst_mac = fabric->host(target).mac();
+    std::vector<std::uint8_t> payload(64, static_cast<std::uint8_t>(i));
+    src->bytes = net::build_udp_frame(ep, 9000, 9000, payload);
+    src->period = p.period;
+    src->stop_at = sim::TimePoint() + p.duration;
+    // Stagger first ticks so shards start with distinct timestamps.
+    const sim::TimePoint first =
+        sim::TimePoint() +
+        sim::Duration::nanoseconds(100 + 97 * static_cast<std::int64_t>(i));
+    Source* raw = src.get();
+    if (domain != nullptr) {
+      domain->engine().schedule_on(plan.host_shard[static_cast<std::size_t>(i)],
+                                   first, [raw] { raw->tick(); });
+    } else {
+      sim.schedule_at(first, [raw] { raw->tick(); });
+    }
+    sources.push_back(std::move(src));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(sim::TimePoint() + p.duration + sim::Duration::milliseconds(10));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome out;
+  out.wall_secs = std::chrono::duration<double>(t1 - t0).count();
+  out.events = sim.events_executed();
+  for (int i = 0; i < p.hosts; ++i) {
+    const auto& nic = fabric->host(i).nic().stats();
+    out.nic_delivered += nic.rx_delivered;
+    out.nic_dropped += nic.rx_dropped;
+    if (auto* port = fabric->host(i).nic().port()) {
+      out.access_tx += port->stats().tx_frames;
+      out.access_rx += port->stats().rx_frames;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace barb::core;
+  bench::print_header(
+      "Micro-benchmark: parallel DES engine",
+      "sharded-vs-serial speedup / identity gate (not a paper figure)");
+  const auto opt = bench::bench_options();
+
+  WorkloadParams p;
+  if (bench::fast_mode()) {
+    p.hosts = 256;
+    p.duration = sim::Duration::milliseconds(20);
+  }
+  const int env_shards = des_shards_from_env();
+  const int shards = env_shards > 1 ? env_shards : 4;
+
+  std::fprintf(stderr, "(hosts=%d shards=%d hw_threads=%u)\n", p.hosts, shards,
+               std::thread::hardware_concurrency());
+
+  const RunOutcome serial = run_once(p, 1);
+  const RunOutcome sharded = run_once(p, shards);
+
+  const double serial_eps =
+      serial.wall_secs > 0 ? static_cast<double>(serial.events) / serial.wall_secs : 0;
+  const double sharded_eps =
+      sharded.wall_secs > 0 ? static_cast<double>(sharded.events) / sharded.wall_secs
+                            : 0;
+  const double speedup = serial_eps > 0 ? sharded_eps / serial_eps : 0;
+
+  TextTable table({"Engine", "events", "wall s", "events/s"});
+  table.add_row({"serial wheel", fmt_int(static_cast<double>(serial.events)),
+                 fmt(serial.wall_secs), fmt_int(serial_eps)});
+  table.add_row({"sharded x" + std::to_string(shards),
+                 fmt_int(static_cast<double>(sharded.events)),
+                 fmt(sharded.wall_secs), fmt_int(sharded_eps)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("sharded vs serial speedup: %.2fx\n\n", speedup);
+  bench::maybe_write_csv("microbench_parallel_des", table);
+
+  barb::telemetry::BenchArtifact artifact("microbench_parallel_des");
+  bench::set_common_meta(artifact, opt);
+  artifact.set_meta("hosts", static_cast<double>(p.hosts));
+  artifact.set_meta("shards", static_cast<double>(shards));
+  artifact.add_point("events_per_sec_serial", 0, serial_eps);
+  artifact.add_point("events_per_sec_sharded", 0, sharded_eps);
+  artifact.add_point("speedup", 0, speedup);
+  bench::write_artifact(artifact);
+
+  // Outcome identity is the hard gate: the parallel engine is only an
+  // execution strategy, never a model change.
+  bool ok = true;
+  if (serial.access_tx != sharded.access_tx ||
+      serial.access_rx != sharded.access_rx) {
+    std::fprintf(stderr,
+                 "FAIL: access-link frame counts diverged (tx %llu vs %llu, "
+                 "rx %llu vs %llu)\n",
+                 static_cast<unsigned long long>(serial.access_tx),
+                 static_cast<unsigned long long>(sharded.access_tx),
+                 static_cast<unsigned long long>(serial.access_rx),
+                 static_cast<unsigned long long>(sharded.access_rx));
+    ok = false;
+  }
+  if (serial.nic_delivered != sharded.nic_delivered ||
+      serial.nic_dropped != sharded.nic_dropped) {
+    std::fprintf(stderr,
+                 "FAIL: NIC verdicts diverged (delivered %llu vs %llu, "
+                 "dropped %llu vs %llu)\n",
+                 static_cast<unsigned long long>(serial.nic_delivered),
+                 static_cast<unsigned long long>(sharded.nic_delivered),
+                 static_cast<unsigned long long>(serial.nic_dropped),
+                 static_cast<unsigned long long>(sharded.nic_dropped));
+    ok = false;
+  }
+  if (serial.events != sharded.events) {
+    std::fprintf(stderr, "FAIL: event counts diverged (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(serial.events),
+                 static_cast<unsigned long long>(sharded.events));
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  const char* require = std::getenv("BARB_REQUIRE_SPEEDUP");
+  const bool enforce = require != nullptr && require[0] == '1';
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "%s: sharded speedup %.2fx < 2.0x over serial "
+                 "(%u hardware threads for %d shard workers)\n",
+                 enforce ? "FAIL" : "NOTE", speedup,
+                 std::thread::hardware_concurrency(), shards);
+    if (enforce) return 1;
+    std::printf(
+        "PASS: outcomes identical (speedup %.2fx informational; set "
+        "BARB_REQUIRE_SPEEDUP=1 to enforce >= 2x)\n",
+        speedup);
+    return 0;
+  }
+  std::printf("PASS: outcomes identical, %.2fx >= 2.0x vs serial\n", speedup);
+  return 0;
+}

@@ -267,6 +267,33 @@ int main() {
       legacy_r.events_per_sec > 0 ? wheel_r.events_per_sec / legacy_r.events_per_sec
                                   : 0;
 
+  // Per-slot occupancy of the wheel after the measured window (the chains
+  // and far-future timers are still pending). This is the serial baseline
+  // for shard load-imbalance investigations: a heavily skewed level means
+  // a time-sliced partition would idle most shards. Reported only in this
+  // micro-bench's own artifact — never in figure timelines.
+  TextTable slot_table({"Level", "occupied", "records", "max/slot", "mean/occ"});
+  for (int level = 0; level < sim::Scheduler::kLevels; ++level) {
+    const auto hist = wheel.slot_histogram(level);
+    std::size_t occupied = 0, records = 0, max_slot = 0;
+    for (unsigned s = 0; s < sim::Scheduler::kSlots; ++s) {
+      if (hist[s] == 0) continue;
+      ++occupied;
+      records += hist[s];
+      max_slot = std::max(max_slot, hist[s]);
+      artifact.add_point("slot_occupancy_l" + std::to_string(level),
+                         static_cast<double>(s), static_cast<double>(hist[s]));
+    }
+    const double mean =
+        occupied > 0 ? static_cast<double>(records) / static_cast<double>(occupied)
+                     : 0.0;
+    slot_table.add_row({std::to_string(level), fmt_int(static_cast<double>(occupied)),
+                        fmt_int(static_cast<double>(records)),
+                        fmt_int(static_cast<double>(max_slot)), fmt(mean)});
+    artifact.add_point("slot_records_l" + std::to_string(level), 0,
+                       static_cast<double>(records));
+  }
+
   TextTable table({"Engine", "events/s", "allocs/event"});
   table.add_row({"legacy heap (shared_ptr+std::function)",
                  fmt_int(legacy_r.events_per_sec), fmt(legacy_r.allocs_per_event)});
@@ -276,6 +303,8 @@ int main() {
                  fmt(wheel_r.allocs_per_event)});
   std::printf("%s\n", table.to_string().c_str());
   std::printf("wheel vs legacy speedup: %.2fx\n\n", speedup);
+  std::printf("wheel per-slot occupancy (pending events after measured window):\n");
+  std::printf("%s\n", slot_table.to_string().c_str());
   bench::maybe_write_csv("microbench_scheduler", table);
 
   artifact.add_point("events_per_sec_legacy", 0, legacy_r.events_per_sec);

@@ -1,0 +1,102 @@
+#include "link/sharded_domain.h"
+
+#include <utility>
+
+#include "net/packet.h"
+#include "util/assert.h"
+
+namespace barb::link {
+
+namespace {
+// Pools still holding live buffers at domain teardown are parked here for
+// the life of the process: the frames referencing them (queued in links or
+// switches that outlive the domain) release through the pool pointer on
+// their buffer, which must stay valid. Reachable at exit, so leak-clean.
+std::vector<std::unique_ptr<net::BufferPool>>& pool_graveyard() {
+  static std::vector<std::unique_ptr<net::BufferPool>> graveyard;
+  return graveyard;
+}
+}  // namespace
+
+ShardedLinkDomain::ShardedLinkDomain(sim::Simulation& sim, int shards,
+                                     int rng_home_shard)
+    : sim_(sim), engine_(sim, shards) {
+  pools_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    pools_.push_back(std::make_unique<net::BufferPool>());
+  }
+  engine_.set_thread_hooks(
+      [this](int shard) {
+        net::BufferPool::set_thread_pool_override(
+            pools_[static_cast<std::size_t>(shard)].get());
+      },
+      [](int) { net::BufferPool::set_thread_pool_override(nullptr); });
+  sim_.attach_engine(&engine_, rng_home_shard);
+}
+
+ShardedLinkDomain::~ShardedLinkDomain() {
+  sim_.attach_engine(nullptr);
+  for (auto& pool : pools_) {
+    if (pool->live_buffers() > 0) pool_graveyard().push_back(std::move(pool));
+  }
+}
+
+void ShardedLinkDomain::register_metrics(telemetry::MetricRegistry& registry) {
+  for (int s = 0; s < engine_.shards(); ++s) {
+    registry.counter_fn("des.shard_events", "shard=" + std::to_string(s),
+                        [this, s] {
+                          return static_cast<double>(
+                              engine_.shard_scheduler(s).events_executed());
+                        });
+  }
+  registry.counter_fn("des.horizon_stalls", "", [this] {
+    return static_cast<double>(engine_.stats().horizon_stalls);
+  });
+  registry.counter_fn("des.quiescence_lifts", "", [this] {
+    return static_cast<double>(engine_.stats().quiescence_lifts);
+  });
+  registry.counter_fn("des.messages", "", [this] {
+    return static_cast<double>(engine_.stats().messages);
+  });
+  registry.gauge("des.mailbox_depth", "", [this] {
+    return static_cast<double>(engine_.stats().mailbox_depth);
+  });
+}
+
+void ShardedLinkDomain::attach(Link& link, int shard_a, int shard_b) {
+  if (shard_a == shard_b) return;
+  // The earliest delivery either direction can produce is one minimum-size
+  // frame's serialization plus the wire's propagation ahead of the sender's
+  // clock; that is the conservative lookahead of the cut. add_edge rejects
+  // a non-positive result (it cannot happen for finite-rate links, but a
+  // hand-built zero-latency link must not silently serialize the shards).
+  const sim::Duration lookahead =
+      link.config().propagation + link.a().frame_time(0);
+  attach_direction(link.a(), shard_a, link.b(), shard_b, lookahead);
+  attach_direction(link.b(), shard_b, link.a(), shard_a, lookahead);
+}
+
+void ShardedLinkDomain::attach_direction(LinkPort& from_port, int from_shard,
+                                         LinkPort& to_port, int to_shard,
+                                         sim::Duration lookahead) {
+  engine_.add_edge(from_shard, to_shard, lookahead);
+  const int endpoint = engine_.add_endpoint(
+      to_shard, [this, to_shard, port = &to_port](sim::MailboxMessage&& m) {
+        // Runs on the receiving shard's thread at mailbox-drain time (or on
+        // the main thread for setup traffic, when workers are idle); the
+        // frame is rebuilt on that shard's pool and inserted at the serial
+        // engine's dispatch key (deliver time, sender-side origin).
+        sim::Scheduler* sched = &engine_.shard_scheduler(to_shard);
+        sched->schedule_at_origin(
+            m.deliver_at, m.sched_at,
+            [port, bytes = std::move(m.bytes), created = m.meta_time,
+             id = m.meta_id] {
+              net::Packet pkt(net::BufferPool::instance().create(bytes),
+                              created, id);
+              port->deliver_from_peer(std::move(pkt));
+            });
+      });
+  from_port.set_cross_shard(&engine_, endpoint);
+}
+
+}  // namespace barb::link

@@ -1,0 +1,69 @@
+// Shard-attach layer between the fabric and the parallel engine.
+//
+// A ShardedLinkDomain owns one sim::ParallelEngine plus one persistent
+// net::BufferPool per shard, and wires cut links (links whose two ports live
+// on different shards) into the engine: per direction it declares the
+// conservative lookahead (propagation + minimum frame serialization time —
+// the earliest any delivery that direction can produce), registers a
+// delivery endpoint that rebuilds the frame on the receiver's pool and
+// inserts it into the receiver's wheel at the serial engine's exact
+// (time, schedule-origin) dispatch key, and flips the sending port into
+// cross-shard mode.
+//
+// Buffer lifetime: shard worker threads are pointed at the per-shard pools
+// via BufferPool::set_thread_pool_override, so frames a shard allocates
+// survive the per-run spawn/join of its thread. At domain teardown any pool
+// that still owns live buffers (frames queued in links or switches that
+// outlive the domain) is parked on a process-lifetime graveyard instead of
+// being destroyed — releasing those frames later must not touch a dead pool.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "link/link.h"
+#include "net/frame_buffer.h"
+#include "sim/parallel_engine.h"
+#include "telemetry/registry.h"
+
+namespace barb::link {
+
+class ShardedLinkDomain {
+ public:
+  // Creates the engine with `shards` shards and attaches it to `sim`.
+  // `rng_home_shard` is forwarded to Simulation::attach_engine (-1 forbids
+  // all shard-side draws from the simulation RNG).
+  ShardedLinkDomain(sim::Simulation& sim, int shards, int rng_home_shard = 0);
+  ~ShardedLinkDomain();
+
+  ShardedLinkDomain(const ShardedLinkDomain&) = delete;
+  ShardedLinkDomain& operator=(const ShardedLinkDomain&) = delete;
+
+  sim::ParallelEngine& engine() { return engine_; }
+  int shards() const { return engine_.shards(); }
+  net::BufferPool& pool(int shard) {
+    return *pools_[static_cast<std::size_t>(shard)];
+  }
+
+  // Wires `link` across the shard boundary: port a() lives on `shard_a`,
+  // port b() on `shard_b`. No-op when both sides share a shard. Call before
+  // any traffic flows on the link.
+  void attach(Link& link, int shard_a, int shard_b);
+
+  // Registers the engine counters under "des.*" (per-shard events executed,
+  // horizon stalls, quiescence lifts, cross-shard messages, mailbox depth).
+  // Opt-in and kept out of the paper-figure metric sets, which are a
+  // byte-identity regression gate. Sampling happens in control events (all
+  // shards parked), so the reads are race-free.
+  void register_metrics(telemetry::MetricRegistry& registry);
+
+ private:
+  void attach_direction(LinkPort& from_port, int from_shard, LinkPort& to_port,
+                        int to_shard, sim::Duration lookahead);
+
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<net::BufferPool>> pools_;
+  sim::ParallelEngine engine_;
+};
+
+}  // namespace barb::link

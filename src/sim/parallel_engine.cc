@@ -1,0 +1,505 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.h"
+
+namespace barb::sim {
+
+// SPSC ring of MailboxMessages for one ordered shard pair. Fixed capacity;
+// a full ring makes the producer drain its own inboxes and retry (which
+// also breaks push cycles between mutually full shards).
+struct ParallelEngine::Channel {
+  explicit Channel(int from_shard, int to_shard, std::size_t capacity)
+      : from(from_shard), to(to_shard), slots(capacity), mask(capacity - 1) {
+    BARB_ASSERT((capacity & mask) == 0);  // power of two
+  }
+
+  bool try_push(MailboxMessage&& m) {
+    const std::uint64_t p = pushed.load(std::memory_order_relaxed);
+    const std::uint64_t c = popped.load(std::memory_order_acquire);
+    if (p - c >= slots.size()) return false;
+    slots[p & mask] = std::move(m);
+    pushed.store(p + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(MailboxMessage& out) {
+    const std::uint64_t c = popped.load(std::memory_order_relaxed);
+    const std::uint64_t p = pushed.load(std::memory_order_acquire);
+    if (c == p) return false;
+    out = std::move(slots[c & mask]);
+    popped.store(c + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return pushed.load(std::memory_order_acquire) ==
+           popped.load(std::memory_order_relaxed);
+  }
+
+  const int from;
+  const int to;
+  std::vector<MailboxMessage> slots;
+  const std::uint64_t mask;
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> popped{0};
+};
+
+namespace {
+constexpr std::size_t kChannelCapacity = 8192;
+}  // namespace
+
+ParallelEngine::ParallelEngine(Simulation& sim, int shards) : sim_(sim) {
+  BARB_ASSERT_MSG(shards >= 1, "need at least one shard");
+  const Scheduler::Backend backend = Scheduler::backend_from_env();
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(backend));
+  }
+  channel_at_.assign(static_cast<std::size_t>(shards) *
+                         static_cast<std::size_t>(shards),
+                     nullptr);
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::add_edge(int from, int to, Duration lookahead) {
+  BARB_ASSERT(from >= 0 && from < shards() && to >= 0 && to < shards());
+  BARB_ASSERT(from != to);
+  if (lookahead.ns() <= 0) {
+    throw std::runtime_error(
+        "parallel engine: cross-shard edge " + std::to_string(from) + "->" +
+        std::to_string(to) +
+        " has zero lookahead (link propagation is 0); conservative "
+        "synchronization needs every cut link to carry nonzero latency — "
+        "partition along links with propagation > 0 or run serial");
+  }
+  const std::size_t idx = static_cast<std::size_t>(from) *
+                              static_cast<std::size_t>(shards()) +
+                          static_cast<std::size_t>(to);
+  Channel* ch = channel_at_[idx];
+  if (ch == nullptr) {
+    channels_.push_back(std::make_unique<Channel>(from, to, kChannelCapacity));
+    ch = channels_.back().get();
+    channel_at_[idx] = ch;
+    Shard& producer = *shards_[static_cast<std::size_t>(from)];
+    Shard& consumer = *shards_[static_cast<std::size_t>(to)];
+    auto out = std::make_unique<OutNeighbor>();
+    out->shard = to;
+    out->lookahead_ns = lookahead.ns();
+    out->channel = ch;
+    producer.out.push_back(std::move(out));
+    consumer.in.push_back(InNeighbor{from, lookahead.ns(), ch,
+                                     producer.out.back().get()});
+    return;
+  }
+  // Edge already declared: the minimum lookahead over all cut links wins.
+  Shard& producer = *shards_[static_cast<std::size_t>(from)];
+  for (auto& out : producer.out) {
+    if (out->shard == to) {
+      out->lookahead_ns = std::min(out->lookahead_ns, lookahead.ns());
+    }
+  }
+  Shard& consumer = *shards_[static_cast<std::size_t>(to)];
+  for (auto& in : consumer.in) {
+    if (in.shard == from) {
+      in.lookahead_ns = std::min(in.lookahead_ns, lookahead.ns());
+    }
+  }
+}
+
+int ParallelEngine::add_endpoint(int to,
+                                 std::function<void(MailboxMessage&&)> deliver) {
+  BARB_ASSERT(to >= 0 && to < shards());
+  endpoints_.push_back(Endpoint{to, std::move(deliver)});
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+Duration ParallelEngine::edge_lookahead(int from, int to) const {
+  const Channel* ch =
+      channel_at_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(shards()) +
+                  static_cast<std::size_t>(to)];
+  if (ch == nullptr) return Duration::max();
+  for (const auto& in : shards_[static_cast<std::size_t>(to)]->in) {
+    if (in.shard == from) return Duration::nanoseconds(in.lookahead_ns);
+  }
+  return Duration::max();
+}
+
+void ParallelEngine::set_thread_hooks(std::function<void(int)> enter,
+                                      std::function<void(int)> exit) {
+  enter_hook_ = std::move(enter);
+  exit_hook_ = std::move(exit);
+}
+
+void ParallelEngine::send(MailboxMessage m) {
+  const int from = detail::tls_shard_context.shard;
+  if (from < 0) {
+    // Main-thread send: setup traffic between runs (a connect() issued
+    // before run_until) or a control event between segments. Workers are
+    // idle either way, so the delivery inserts into the receiving shard's
+    // wheel directly; the next segment's horizon reset covers it.
+    endpoints_[static_cast<std::size_t>(m.endpoint)].deliver(std::move(m));
+    return;
+  }
+  const int to = endpoints_[static_cast<std::size_t>(m.endpoint)].shard;
+  Channel* ch = channel_at_[static_cast<std::size_t>(from) *
+                                static_cast<std::size_t>(shards()) +
+                            static_cast<std::size_t>(to)];
+  BARB_ASSERT_MSG(ch != nullptr, "cross-shard send on an undeclared edge");
+  Shard& consumer = *shards_[static_cast<std::size_t>(to)];
+  while (!ch->try_push(std::move(m))) {
+    // Ring full: make sure the consumer is awake to drain it, service our
+    // own inboxes (so two mutually full shards cannot deadlock), and retry.
+    if (consumer.parked_hint.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lk(m_);
+      wake_locked(to);
+    }
+    drain_inboxes(*shards_[static_cast<std::size_t>(from)]);
+    std::this_thread::yield();
+  }
+  if (consumer.parked_hint.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lk(m_);
+    wake_locked(to);
+  }
+}
+
+std::int64_t ParallelEngine::bound_of(const Shard& sh) const {
+  std::int64_t bound = kMaxNs;
+  for (const InNeighbor& in : sh.in) {
+    const std::int64_t h =
+        shards_[static_cast<std::size_t>(in.shard)]->horizon.load(
+            std::memory_order_acquire);
+    const std::int64_t b =
+        h > kMaxNs - in.lookahead_ns ? kMaxNs : h + in.lookahead_ns;
+    bound = std::min(bound, b);
+  }
+  return bound;
+}
+
+void ParallelEngine::lift_horizon(Shard& sh, std::int64_t v) {
+  std::int64_t cur = sh.horizon.load(std::memory_order_relaxed);
+  while (cur < v && !sh.horizon.compare_exchange_weak(
+                        cur, v, std::memory_order_release,
+                        std::memory_order_relaxed)) {
+  }
+}
+
+// Caller holds m_.
+void ParallelEngine::wake_locked(int shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  if (!sh.parked) return;
+  sh.parked = false;
+  sh.parked_hint.store(false, std::memory_order_relaxed);
+  --parked_count_;
+  sh.wake = true;
+  sh.cv.notify_one();
+}
+
+// Caller holds m_; every shard is parked. Wakes whoever can proceed; when
+// nobody can, declares the segment complete.
+void ParallelEngine::resolve_all_parked_locked() {
+  if (sim_.stop_requested()) {
+    // Stop ends the segment at all-parked even with messages still queued
+    // (like serial stop leaving events pending).
+    seg_done_ = true;
+    cv_main_.notify_all();
+    for (const auto& sh : shards_) sh->cv.notify_all();
+    return;
+  }
+  bool woke = false;
+  for (const auto& ch : channels_) {
+    if (!ch->empty()) {
+      wake_locked(ch->to);
+      woke = true;
+    }
+  }
+  if (woke) return;
+  // All mailboxes empty and every shard parked: nothing is in flight, so
+  // every horizon may jump straight to the globally earliest pending event
+  // (the CMB ladder collapses into one lift).
+  std::int64_t tmin = kMaxNs;
+  for (const auto& sh : shards_) {
+    if (sh->has_next) tmin = std::min(tmin, sh->next_at);
+  }
+  if (tmin < kMaxNs) {
+    for (const auto& sh : shards_) lift_horizon(*sh, tmin);
+    ++quiescence_lifts_;
+  }
+  for (int i = 0; i < shards(); ++i) {
+    Shard& sh = *shards_[static_cast<std::size_t>(i)];
+    if (!sh.parked || !sh.has_next) continue;
+    if (over_cap(sh.next_at, sh.next_sched)) continue;
+    if (sh.next_at < bound_of(sh)) {
+      wake_locked(i);
+      woke = true;
+    }
+  }
+  if (!woke) {
+    seg_done_ = true;
+    cv_main_.notify_all();
+    for (const auto& sh : shards_) sh->cv.notify_all();
+  }
+}
+
+bool ParallelEngine::drain_inboxes(Shard& sh) {
+  bool drained = false;
+  MailboxMessage m;
+  for (const InNeighbor& in : sh.in) {
+    while (in.channel->try_pop(m)) {
+      ++sh.messages_in;
+      drained = true;
+      endpoints_[static_cast<std::size_t>(m.endpoint)].deliver(std::move(m));
+    }
+  }
+  return drained;
+}
+
+void ParallelEngine::run_segment(int idx) {
+  Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  for (;;) {
+    if (sim_.stop_requested()) {
+      if (park(idx, 0, /*stopping=*/true)) return;
+      continue;
+    }
+    // Order matters: read neighbor horizons (acquire) BEFORE draining, and
+    // execute only below a bound computed from those pre-drain values. Any
+    // message still invisible after the drain was sent at or above the
+    // horizon we read, so it delivers at or above the bound.
+    const std::int64_t bound = bound_of(sh);
+    bool progressed = drain_inboxes(sh);
+    while (!sh.sched.empty()) {
+      const auto [t, s] = sh.sched.next_event_key();
+      const std::int64_t at = t.ns();
+      if (at >= bound || over_cap(at, s.ns())) break;
+      // Publish the promise "nothing I send again is below `at`" before
+      // executing the event (all its sends happen at >= at).
+      sh.horizon.store(at, std::memory_order_release);
+      for (const auto& out : sh.out) {
+        if (at >= out->wake_h.load(std::memory_order_relaxed)) {
+          out->wake_h.store(kMaxNs, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lk(m_);
+          wake_locked(out->shard);
+        }
+      }
+      sh.sched.run_one();
+      progressed = true;
+    }
+    if (progressed) continue;
+    if (park(idx, bound, /*stopping=*/false)) return;
+  }
+}
+
+bool ParallelEngine::park(int idx, std::int64_t bound, bool stopping) {
+  Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  bool has_next = false;
+  std::int64_t t_next = kMaxNs;
+  std::int64_t s_next = kMaxNs;
+  if (!stopping) {
+    has_next = !sh.sched.empty();
+    if (has_next) {
+      const auto [t, s] = sh.sched.next_event_key();
+      t_next = t.ns();
+      s_next = s.ns();
+    }
+    // Whatever happens next — local event or cross-shard arrival — this
+    // shard executes nothing (and so sends nothing) below
+    // min(local next, bound).
+    lift_horizon(sh, std::min(t_next, bound));
+  }
+  const bool blocked =
+      !stopping && has_next && t_next >= bound && !over_cap(t_next, s_next);
+  if (blocked) {
+    sh.stalls.fetch_add(1, std::memory_order_relaxed);
+    // Ask each producer to wake us once its horizon admits our next event.
+    // Advisory: a missed wake is recovered by the all-parked resolution.
+    for (const InNeighbor& in : sh.in) {
+      const std::int64_t h =
+          shards_[static_cast<std::size_t>(in.shard)]->horizon.load(
+              std::memory_order_acquire);
+      if (h + in.lookahead_ns <= t_next) {
+        in.producer_side->wake_h.store(t_next - in.lookahead_ns + 1,
+                                       std::memory_order_relaxed);
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lk(m_);
+  if (!stopping) {
+    // Recheck under the engine lock: a message may have landed since our
+    // drain, or a producer horizon may have moved past the bound.
+    for (const InNeighbor& in : sh.in) {
+      if (!in.channel->empty()) return false;
+    }
+    if (blocked && t_next < bound_of(sh)) return false;
+  }
+  sh.parked = true;
+  sh.parked_hint.store(true, std::memory_order_relaxed);
+  sh.wake = false;
+  sh.has_next = has_next;
+  sh.next_at = t_next;
+  sh.next_sched = s_next;
+  if (++parked_count_ == shards()) resolve_all_parked_locked();
+  sh.cv.wait(lk, [&] { return sh.wake || seg_done_; });
+  return seg_done_;
+}
+
+void ParallelEngine::worker(int idx, std::uint64_t start_gen) {
+  detail::tls_shard_context.sched =
+      &shards_[static_cast<std::size_t>(idx)]->sched;
+  detail::tls_shard_context.shard = idx;
+  if (enter_hook_) enter_hook_(idx);
+  std::uint64_t my_gen = start_gen;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_workers_.wait(lk, [&] { return seg_gen_ != my_gen || !running_; });
+      if (!running_) break;
+      my_gen = seg_gen_;
+      ++workers_active_;
+    }
+    run_segment(idx);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      // The segment is only over for the main thread once every worker has
+      // acknowledged seg_done_ — otherwise the next segment's reset could
+      // race a worker still waking out of this one.
+      if (--workers_active_ == 0) cv_main_.notify_all();
+    }
+  }
+  if (exit_hook_) exit_hook_(idx);
+  detail::tls_shard_context = detail::ShardContext{};
+}
+
+void ParallelEngine::run_segment_all(std::int64_t cap_at,
+                                     std::int64_t cap_sched) {
+  std::unique_lock<std::mutex> lk(m_);
+  cap_at_ = cap_at;
+  cap_sched_ = cap_sched;
+  seg_done_ = false;
+  parked_count_ = 0;
+  for (const auto& sh : shards_) {
+    sh->parked = false;
+    sh->parked_hint.store(false, std::memory_order_relaxed);
+    sh->wake = false;
+    // Horizons reset to the shard clocks every segment: the control event
+    // that ran between segments may have scheduled fresh work below a
+    // horizon the previous segment lifted. schedule_at guarantees nothing
+    // lands below a shard's clock, so this value is always conservative.
+    // Within a segment, horizons only rise.
+    sh->horizon.store(sh->sched.now().ns(), std::memory_order_relaxed);
+    for (const auto& out : sh->out) {
+      out->wake_h.store(kMaxNs, std::memory_order_relaxed);
+    }
+  }
+  ++seg_gen_;
+  cv_workers_.notify_all();
+  cv_main_.wait(lk, [&] { return seg_done_ && workers_active_ == 0; });
+}
+
+void ParallelEngine::run_loop(TimePoint until, bool bounded) {
+  std::uint64_t gen0;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    running_ = true;
+    seg_done_ = false;
+    gen0 = seg_gen_;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (int i = 0; i < shards(); ++i) {
+    threads.emplace_back([this, i, gen0] { worker(i, gen0); });
+  }
+  Scheduler& control = sim_.scheduler();
+  for (;;) {
+    bool have_control = false;
+    std::int64_t cap_at = bounded ? until.ns() : kMaxNs;
+    std::int64_t cap_sched = kMaxNs;
+    if (!control.empty()) {
+      const auto [ca, cs] = control.next_event_key();
+      if (!bounded || ca <= until) {
+        have_control = true;
+        cap_at = ca.ns();
+        cap_sched = cs.ns();
+      }
+    }
+    run_segment_all(cap_at, cap_sched);
+    if (sim_.stop_requested()) break;
+    if (!have_control) break;
+    control.run_one();
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    running_ = false;
+    cv_workers_.notify_all();
+  }
+  for (std::thread& t : threads) t.join();
+  if (!sim_.stop_requested()) {
+    if (bounded) {
+      for (const auto& sh : shards_) {
+        if (sh->sched.now() < until) sh->sched.advance_to(until);
+      }
+      if (control.now() < until) control.advance_to(until);
+    } else {
+      // Run-to-empty: align every clock on the latest one so a later
+      // schedule() targets a consistent "now".
+      TimePoint latest = control.now();
+      for (const auto& sh : shards_) latest = std::max(latest, sh->sched.now());
+      for (const auto& sh : shards_) {
+        if (sh->sched.now() < latest) sh->sched.advance_to(latest);
+      }
+      if (control.now() < latest) control.advance_to(latest);
+    }
+  }
+}
+
+void ParallelEngine::run_until(TimePoint until) { run_loop(until, true); }
+
+void ParallelEngine::run_to_empty() {
+  run_loop(TimePoint::max(), false);
+}
+
+std::uint64_t ParallelEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->sched.events_executed();
+  return total;
+}
+
+bool ParallelEngine::queues_empty() const {
+  for (const auto& sh : shards_) {
+    if (!sh->sched.empty()) return false;
+  }
+  for (const auto& ch : channels_) {
+    if (!ch->empty()) return false;
+  }
+  return true;
+}
+
+ParallelStats ParallelEngine::stats() const {
+  ParallelStats s;
+  s.shards = shards();
+  s.shard_events.reserve(shards_.size());
+  std::uint64_t stalls = 0;
+  std::uint64_t messages = 0;
+  for (const auto& sh : shards_) {
+    s.shard_events.push_back(sh->sched.events_executed());
+    stalls += sh->stalls.load(std::memory_order_relaxed);
+    messages += sh->messages_in;
+  }
+  s.horizon_stalls = stalls;
+  s.quiescence_lifts = quiescence_lifts_;
+  s.messages = messages;
+  std::size_t depth = 0;
+  for (const auto& ch : channels_) {
+    const std::uint64_t p = ch->pushed.load(std::memory_order_acquire);
+    const std::uint64_t c = ch->popped.load(std::memory_order_relaxed);
+    depth += static_cast<std::size_t>(p - c);
+  }
+  s.mailbox_depth = depth;
+  return s;
+}
+
+}  // namespace barb::sim

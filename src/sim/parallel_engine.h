@@ -1,0 +1,232 @@
+// Conservative parallel discrete-event engine: sharded timing wheels with
+// lookahead-bounded synchronization (ROADMAP item 3).
+//
+// The fabric is partitioned into K shards (core/topology.cc picks the cut);
+// each shard runs its own Scheduler on its own worker thread. Shards
+// synchronize Chandy–Misra–Bryant-style on *horizons*: shard j continuously
+// publishes a lower bound h_j on the timestamp of anything it will ever send
+// again, and shard i may execute local events strictly below
+//
+//   bound_i = min over in-neighbors j of (h_j + lookahead(j->i)),
+//
+// where lookahead(j->i) is the minimum cross-shard link latency
+// (propagation + minimum frame serialization time — every delivery a link
+// can produce is at least that far in the sender's future). Cross-shard
+// frames travel through per-shard-pair SPSC mailboxes as
+// (deliver_time, schedule-origin, bytes) messages and are inserted into the
+// receiver's wheel via Scheduler::schedule_at_origin, so the merged dispatch
+// order is the serial engine's (time, origin, seq) order — see the
+// determinism notes in scheduler.h and DESIGN.md "Parallel discrete-event
+// execution".
+//
+// Memory-ordering protocol (load-bearing): a producer publishes its horizon
+// with a release store BEFORE executing the event at that time (all sends
+// of that event happen at or after it); a consumer acquire-reads neighbor
+// horizons FIRST, THEN drains its mailboxes, and computes its bound from
+// the pre-drain horizon values. If a message is still invisible after that
+// drain, its send time is at or above the horizon value read, so its
+// delivery time is at or above the computed bound — executing up to the
+// bound can never overtake it.
+//
+// Progress: a shard that cannot execute (horizon-blocked, over the segment
+// cap, or empty) parks on a condvar. Producers wake parked consumers when
+// they push a message or cross a requested horizon threshold; when every
+// shard is parked and all mailboxes are empty, the last parker lifts all
+// horizons to the globally earliest pending event in one step (nothing can
+// be in flight, so the CMB ladder collapses) and wakes whoever became
+// executable. When nobody does, the segment is complete.
+//
+// Control events (telemetry probes via Simulation::schedule_every_global)
+// stay on the main Simulation scheduler and run on the main thread between
+// segments, at global quiescence — every shard parked at the control
+// event's dispatch key — so they observe cross-shard state (lazily advanced
+// link accounting, pool gauges) at exactly the instants the serial engine
+// would.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace barb::sim {
+
+// One cross-shard frame in flight. `bytes` is an owned copy: FrameBuffer
+// refcounts are plain ints on thread-local pools, so buffer handles never
+// cross threads — the receiver rebuilds a pooled packet on its own shard.
+struct MailboxMessage {
+  TimePoint deliver_at;  // receiver-side dispatch time
+  TimePoint sched_at;    // sender-side clock when the delivery was scheduled
+  TimePoint meta_time;   // net::Packet::created
+  std::uint64_t meta_id = 0;  // net::Packet::id
+  std::int32_t endpoint = 0;  // registered delivery endpoint on the receiver
+  std::vector<std::uint8_t> bytes;
+};
+
+// Snapshot of engine counters for the opt-in des.* telemetry bridge. Safe
+// to take from the main thread between runs or inside a control event (all
+// shards parked).
+struct ParallelStats {
+  int shards = 0;
+  std::vector<std::uint64_t> shard_events;  // events executed per shard
+  std::uint64_t horizon_stalls = 0;   // times a shard parked on its bound
+  std::uint64_t quiescence_lifts = 0; // all-parked horizon lifts
+  std::uint64_t messages = 0;         // cross-shard messages delivered
+  std::size_t mailbox_depth = 0;      // messages currently queued
+};
+
+class ParallelEngine final : public Simulation::EngineHook {
+ public:
+  // `shards` >= 1. The engine must be attached to `sim` (attach_engine) by
+  // the owner after construction and outlive every run call.
+  ParallelEngine(Simulation& sim, int shards);
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  Scheduler& shard_scheduler(int shard) { return shards_[static_cast<std::size_t>(shard)]->sched; }
+
+  // Declares that shard `from` can send to shard `to` with the given
+  // conservative lookahead (idempotent; the minimum over declared edges
+  // wins). Throws std::runtime_error on lookahead <= 0: a zero-lookahead
+  // cut would force lockstep execution, which the conservative protocol
+  // cannot run — partition along links with nonzero propagation instead.
+  void add_edge(int from, int to, Duration lookahead);
+
+  // Registers a delivery callback living on shard `to`; returns its id for
+  // MailboxMessage::endpoint. The callback runs on shard `to`'s thread at
+  // mailbox-drain time and is expected to insert the actual delivery via
+  // shard_scheduler(to).schedule_at_origin(deliver_at, sched_at, ...).
+  int add_endpoint(int to, std::function<void(MailboxMessage&&)> deliver);
+
+  // Sends a message to `m.endpoint` (must be called on a shard worker
+  // thread; the producing shard is taken from thread-local context). The
+  // (from, to) edge must have been declared via add_edge.
+  void send(MailboxMessage m);
+
+  // Minimum declared lookahead for edge (from, to), or Duration::max() if
+  // the edge does not exist. Test/diagnostic accessor.
+  Duration edge_lookahead(int from, int to) const;
+
+  // Thread lifecycle hooks, run on each shard worker thread as it starts
+  // and before it exits (the attach layer points the thread at its
+  // persistent per-shard BufferPool here). Set before the first run.
+  void set_thread_hooks(std::function<void(int)> enter,
+                        std::function<void(int)> exit);
+
+  // Schedules `fn` on a shard's wheel from the main thread while the engine
+  // is NOT running (setup between runs).
+  void schedule_on(int shard, TimePoint at, Scheduler::Callback fn) {
+    shards_[static_cast<std::size_t>(shard)]->sched.schedule_at(at, std::move(fn));
+  }
+
+  ParallelStats stats() const;
+
+  // --- Simulation::EngineHook ---
+  void run_until(TimePoint until) override;
+  void run_to_empty() override;
+  std::uint64_t events_executed() const override;
+  bool queues_empty() const override;
+  Scheduler& home_scheduler() override { return shards_.front()->sched; }
+
+ private:
+  static constexpr std::int64_t kMaxNs =
+      std::numeric_limits<std::int64_t>::max();
+
+  struct Channel;  // SPSC mailbox for one ordered shard pair
+
+  struct OutNeighbor {
+    int shard = -1;
+    std::int64_t lookahead_ns = 0;
+    Channel* channel = nullptr;
+    // Consumer-requested wake threshold: when the producer's horizon
+    // reaches it, the producer wakes the consumer. Advisory fast path; the
+    // all-parked resolution is the correctness backstop.
+    std::atomic<std::int64_t> wake_h{kMaxNs};
+  };
+
+  struct InNeighbor {
+    int shard = -1;
+    std::int64_t lookahead_ns = 0;
+    Channel* channel = nullptr;
+    OutNeighbor* producer_side = nullptr;  // matching entry on `shard`
+  };
+
+  struct Shard {
+    explicit Shard(Scheduler::Backend b) : sched(b) {}
+    Scheduler sched;
+    // Lower bound on the timestamp of this shard's future sends.
+    std::atomic<std::int64_t> horizon{0};
+    // True while (possibly) parked; producers check it before taking the
+    // engine lock to wake.
+    std::atomic<bool> parked_hint{false};
+    std::atomic<std::uint64_t> stalls{0};
+    std::vector<std::unique_ptr<OutNeighbor>> out;
+    std::vector<InNeighbor> in;
+    // --- guarded by ParallelEngine::m_ ---
+    std::condition_variable cv;
+    bool parked = false;
+    bool wake = false;
+    bool has_next = false;
+    std::int64_t next_at = kMaxNs;
+    std::int64_t next_sched = kMaxNs;
+    // --- owned by the worker thread ---
+    std::uint64_t messages_in = 0;
+  };
+
+  bool over_cap(std::int64_t at, std::int64_t sched) const {
+    return at > cap_at_ || (at == cap_at_ && sched > cap_sched_);
+  }
+  std::int64_t bound_of(const Shard& sh) const;
+  void lift_horizon(Shard& sh, std::int64_t v);
+  void wake_locked(int shard);
+  void resolve_all_parked_locked();
+  bool drain_inboxes(Shard& sh);
+  void run_segment(int idx);
+  // Parks shard `idx`; returns true when the segment is over for it. With
+  // `stopping` the shard parks unconditionally (sim_.stop() was called) and
+  // the all-parked resolution ends the segment without draining mailboxes.
+  bool park(int idx, std::int64_t bound, bool stopping);
+  void worker(int idx, std::uint64_t start_gen);
+  // Runs one segment under the (cap_at, cap_sched) composite cap: shards
+  // execute every event with at < cap_at, plus events at cap_at whose
+  // schedule-origin is <= cap_sched (i.e. everything the serial engine
+  // would dispatch before the control event with that key).
+  void run_segment_all(std::int64_t cap_at, std::int64_t cap_sched);
+  void run_loop(TimePoint until, bool bounded);
+
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Channel>> channels_;   // dense, see channel_at_
+  std::vector<Channel*> channel_at_;                 // K*K adjacency
+  struct Endpoint {
+    int shard;
+    std::function<void(MailboxMessage&&)> deliver;
+  };
+  std::vector<Endpoint> endpoints_;
+  std::function<void(int)> enter_hook_;
+  std::function<void(int)> exit_hook_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_workers_;  // segment start / engine shutdown
+  std::condition_variable cv_main_;     // segment completion
+  std::uint64_t seg_gen_ = 0;
+  bool seg_done_ = false;
+  bool running_ = false;
+  int parked_count_ = 0;
+  int workers_active_ = 0;  // workers currently inside run_segment
+  std::int64_t cap_at_ = kMaxNs;
+  std::int64_t cap_sched_ = kMaxNs;
+  std::uint64_t quiescence_lifts_ = 0;
+};
+
+}  // namespace barb::sim

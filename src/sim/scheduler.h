@@ -21,11 +21,19 @@
 //   3. Allocation-free callbacks. Callbacks are InlineCallback values whose
 //      56-byte small-buffer fits every capture the simulator schedules.
 //
-// Determinism contract (unchanged from the binary-heap engine, and asserted
-// by the randomized differential test in tests/sim/scheduler_wheel_test.cc):
-// events are dispatched in strict (time, scheduling-sequence) order, so
-// same-instant events fire in the order they were scheduled — across wheel
-// cascades, epoch migrations, and the overflow boundary. The binary-heap
+// Determinism contract (asserted by the randomized differential test in
+// tests/sim/scheduler_wheel_test.cc): events are dispatched in strict
+// (time, schedule-origin, scheduling-sequence) order — across wheel
+// cascades, epoch migrations, and the overflow boundary. `schedule-origin`
+// (EventRecord::sched_at) is the clock value at the instant the event was
+// scheduled. In serial execution origins are monotone in sequence number,
+// so this order is exactly the classic (time, sequence) order and
+// same-instant events fire in the order they were scheduled. The extra key
+// exists for the sharded parallel engine (sim/parallel_engine.h): a
+// cross-shard delivery inserted via schedule_at_origin() carries its
+// sender-side origin, which slots it among local same-instant events at the
+// position the serial engine would have given it — that is what makes the
+// parallel timeline byte-identical to the serial one. The binary-heap
 // engine remains available behind BARB_SCHED=heap (or Backend::kHeap) so CI
 // can assert that all paper artifacts are byte-identical under both.
 //
@@ -68,11 +76,12 @@ enum class EventState : std::uint8_t { kFree, kInWheel, kInOverflow, kRunning };
 struct EventRecord {
   TimePoint at;
   std::uint64_t seq = 0;
+  TimePoint sched_at;         // clock at schedule time (dispatch tie-break)
   Duration period;            // zero => one-shot
   EventRecord* prev = nullptr;
   EventRecord* next = nullptr;  // doubles as the free-list link
-  std::uint64_t gen = 0;        // bumped on recycle; stale handles go inert
   Scheduler* owner = nullptr;
+  std::uint32_t gen = 0;        // bumped on recycle; stale handles go inert
   EventState state = EventState::kFree;
   std::uint8_t level = 0;
   std::uint8_t slot = 0;
@@ -104,11 +113,11 @@ class EventHandle {
 
  private:
   friend class Scheduler;
-  EventHandle(detail::EventRecord* rec, std::uint64_t gen)
+  EventHandle(detail::EventRecord* rec, std::uint32_t gen)
       : rec_(rec), gen_(gen) {}
 
   detail::EventRecord* rec_ = nullptr;
-  std::uint64_t gen_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 // Live counters for the sched.* telemetry bridge (Testbed keeps these out of
@@ -166,6 +175,26 @@ class Scheduler {
     return schedule_impl(first, period, std::move(fn));
   }
 
+  // Schedules `fn` at `at` carrying an explicit schedule-origin instead of
+  // the local clock. The parallel engine uses this for cross-shard
+  // deliveries: `origin` is the sender-side clock value at the send, which
+  // may be earlier than this scheduler's now(). Dispatch order among
+  // same-instant events follows (origin, seq), reproducing the position the
+  // serial engine would have assigned.
+  EventHandle schedule_at_origin(TimePoint at, TimePoint origin, Callback fn) {
+    BARB_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    detail::EventRecord* r = alloc_record();
+    r->at = at;
+    r->seq = next_seq_++;
+    r->sched_at = origin;
+    r->period = Duration::zero();
+    r->cancelled = false;
+    r->fn = std::move(fn);
+    insert(r);
+    ++pending_;
+    return EventHandle{r, r->gen};
+  }
+
   TimePoint now() const { return now_; }
   bool empty() const { return pending_ == 0; }
   // Live scheduled events (cancelled entries awaiting reap are excluded; see
@@ -202,6 +231,39 @@ class Scheduler {
     return overflow_.front().at;
   }
 
+  // Full dispatch key (time, schedule-origin) of the earliest live pending
+  // event — what run_one() will pop next. Unlike pop-and-reinsert peeking
+  // this never moves the clock, which the parallel engine relies on when a
+  // shard is blocked on its horizon: a cross-shard delivery may still arrive
+  // below the locally pending event's time.
+  std::pair<TimePoint, TimePoint> next_event_key() {
+    BARB_ASSERT(!empty());
+    if (wheel_count_ > 0) {
+      drain_cursor_slots();
+      const detail::EventRecord* r = wheel_peek_record();
+      return {r->at, r->sched_at};
+    }
+    purge_overflow_top();
+    BARB_ASSERT(!overflow_.empty());
+    return {overflow_.front().at, overflow_.front().rec->sched_at};
+  }
+
+  // Per-slot record counts of one wheel level (empty for the heap backend).
+  // Diagnostic only: microbench_scheduler reports the distribution so shard
+  // load-imbalance investigations have a serial baseline.
+  std::array<std::size_t, kSlots> slot_histogram(int level) const {
+    std::array<std::size_t, kSlots> h{};
+    if (level < 0 || level >= levels_) return h;
+    for (unsigned s = 0; s < kSlots; ++s) {
+      for (const detail::EventRecord* r =
+               wheel_[static_cast<std::size_t>(level)][s].head;
+           r != nullptr; r = r->next) {
+        ++h[s];
+      }
+    }
+    return h;
+  }
+
   // Pops and runs the earliest live event; returns false if none remain.
   bool run_one() {
     detail::EventRecord* r = pop_earliest();
@@ -217,6 +279,7 @@ class Scheduler {
       // among same-instant peers — exactly like a self-rescheduling loop).
       r->at = r->at + r->period;
       r->seq = next_seq_++;
+      r->sched_at = now_;
       insert(r);
       ++pending_;
     } else {
@@ -253,14 +316,17 @@ class Scheduler {
 
   struct OverflowEntry {
     TimePoint at;
+    TimePoint sched_at;
     std::uint64_t seq;
     detail::EventRecord* rec;
   };
-  // Strict total order over (at, seq): seq ties can't happen, so the heap's
-  // pop sequence is fully determined and scheduling order breaks time ties.
+  // Strict total order over (at, sched_at, seq): seq ties can't happen, so
+  // the heap's pop sequence is fully determined; schedule origin then
+  // scheduling order break time ties (the engine-wide dispatch key).
   struct OverflowLater {
     bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.sched_at != b.sched_at) return a.sched_at > b.sched_at;
       return a.seq > b.seq;
     }
   };
@@ -277,6 +343,7 @@ class Scheduler {
     detail::EventRecord* r = alloc_record();
     r->at = at;
     r->seq = next_seq_++;
+    r->sched_at = now_;
     r->period = period;
     r->cancelled = false;
     r->fn = std::move(fn);
@@ -291,17 +358,19 @@ class Scheduler {
       ++wheel_count_;
     } else {
       r->state = detail::EventState::kInOverflow;
-      overflow_.push_back(OverflowEntry{r->at, r->seq, r});
+      overflow_.push_back(OverflowEntry{r->at, r->sched_at, r->seq, r});
       std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
     }
   }
 
   // Places `r` in the wheel slot derived from the highest bit where its time
   // differs from now (same epoch required). Higher-level slots append at the
-  // tail; a level-0 slot holds a single instant and is kept in ascending seq
-  // order, so dispatch order is strict (time, seq) even when a cascade drops
-  // an early-scheduled record into an instant that later schedules joined
-  // directly.
+  // tail; a level-0 slot holds a single instant and is kept in ascending
+  // (sched_at, seq) order, so dispatch order is strict
+  // (time, schedule-origin, seq) even when a cascade drops an
+  // early-scheduled record into an instant that later schedules joined
+  // directly, or a cross-shard delivery carries an origin earlier than
+  // locally queued peers.
   void wheel_link(detail::EventRecord* r) {
     const auto t = static_cast<std::uint64_t>(r->at.ns());
     const auto n = static_cast<std::uint64_t>(now_.ns());
@@ -317,7 +386,11 @@ class Scheduler {
     Slot& s = wheel_[static_cast<std::size_t>(level)][slot];
     detail::EventRecord* after = s.tail;  // insert after this node
     if (level == 0) {
-      while (after != nullptr && after->seq > r->seq) after = after->prev;
+      while (after != nullptr &&
+             (after->sched_at > r->sched_at ||
+              (after->sched_at == r->sched_at && after->seq > r->seq))) {
+        after = after->prev;
+      }
     }
     r->prev = after;
     if (after != nullptr) {
@@ -436,6 +509,35 @@ class Scheduler {
     }
     BARB_ASSERT_MSG(false, "wheel_peek_time on an empty wheel");
     return TimePoint::max();
+  }
+
+  // Earliest wheel record by the full (at, sched_at, seq) dispatch key.
+  // Precondition: wheel_count_ > 0 and drain_cursor_slots() has run.
+  const detail::EventRecord* wheel_peek_record() const {
+    const auto n = static_cast<std::uint64_t>(now_.ns());
+    for (int level = 0; level < levels_; ++level) {
+      const unsigned cursor =
+          static_cast<unsigned>(n >> (level * kSlotBits)) & (kSlots - 1);
+      const std::uint64_t mask =
+          occupied_[static_cast<std::size_t>(level)] & (~0ull << cursor);
+      if (mask == 0) continue;
+      const auto slot = static_cast<unsigned>(std::countr_zero(mask));
+      const Slot& s = wheel_[static_cast<std::size_t>(level)][slot];
+      if (level == 0) return s.head;  // single instant, (sched_at, seq) order
+      const detail::EventRecord* best = s.head;
+      for (const detail::EventRecord* r = s.head->next; r != nullptr;
+           r = r->next) {
+        if (r->at < best->at ||
+            (r->at == best->at &&
+             (r->sched_at < best->sched_at ||
+              (r->sched_at == best->sched_at && r->seq < best->seq)))) {
+          best = r;
+        }
+      }
+      return best;
+    }
+    BARB_ASSERT_MSG(false, "wheel_peek_record on an empty wheel");
+    return nullptr;
   }
 
   // Reaps cancelled records off the overflow heap top.

@@ -1,0 +1,9 @@
+# Included by ctest right after sim_parallel_engine_test's generated
+# discovery file (TEST_INCLUDE_FILES are processed in registration order).
+# gtest_discover_tests flattens list-valued PROPERTIES when it re-emits them
+# (LABELS "unit;parallel" degrades to the invalid `LABELS unit parallel`),
+# so the two-label set is applied here instead, iterating the discovered-test
+# list the generated file leaves in <target>_TESTS.
+foreach(_t IN LISTS sim_parallel_engine_test_TESTS)
+  set_tests_properties("${_t}" PROPERTIES LABELS "unit;parallel")
+endforeach()

@@ -17,6 +17,7 @@
 #include "firewall/rule_set.h"
 #include "link/fault_injector.h"
 #include "link/link.h"
+#include "link/sharded_domain.h"
 #include "link/tracer.h"
 #include "net/packet_builder.h"
 #include "net/vpg_header.h"
@@ -713,7 +714,9 @@ constexpr double kQuiescenceCapSeconds = 3600.0;
 
 void run_to_quiescence(sim::Simulation& sim, Failures fail) {
   sim.run_until(sim::TimePoint() + sim::Duration::from_seconds(kQuiescenceCapSeconds));
-  if (!sim.scheduler().empty()) {
+  // queues_empty() covers the parallel engine's shard queues and mailboxes
+  // too; for a serial simulation it is exactly scheduler().empty().
+  if (!sim.queues_empty()) {
     fail("quiescence: event queue still busy after " +
          std::to_string(static_cast<int>(kQuiescenceCapSeconds)) +
          " simulated seconds");
@@ -972,20 +975,36 @@ std::unique_ptr<core::Fabric> build_fabric(sim::Simulation& sim,
   return fabric;
 }
 
-// One engine's observable outcome, for the batched-vs-per-frame comparison.
+// One engine's observable outcome, for the batched-vs-per-frame and
+// serial-vs-sharded comparisons.
 struct FabricRun {
   std::vector<std::size_t> received;  // per transfer
   std::vector<bool> complete;
   std::uint64_t access_tx_frames = 0;  // summed over host access links
   std::uint64_t access_rx_frames = 0;
+  std::uint64_t nic_rx_delivered = 0;  // summed NIC verdicts over all hosts
+  std::uint64_t nic_rx_dropped = 0;
 };
 
+// `shards` == 0 runs the exact serial engine; > 1 attaches the parallel DES
+// engine (kHostsHome partition, so every host-side RNG draw stays on the
+// home shard) and must reproduce the serial outcome bit-for-bit.
 FabricRun run_fabric_once(const FabricScenario& s, std::uint64_t seed,
-                          bool batched, std::vector<std::string>* failures,
+                          bool batched, int shards,
+                          std::vector<std::string>* failures,
                           std::string* trace_tail, const FuzzOptions& options) {
   Failures fail{failures};
   sim::Simulation sim(seed);
+  // Declared before `fabric` so the domain (and its shard schedulers)
+  // outlives the links and hosts, whose destructors cancel EventHandles
+  // living on those schedulers.
+  std::unique_ptr<link::ShardedLinkDomain> domain;
   auto fabric = build_fabric(sim, s, batched);
+  if (shards > 1) {
+    domain = core::make_sharded_domain(
+        *fabric,
+        core::partition_fabric(*fabric, shards, core::ShardPartition::kHostsHome));
+  }
 
   if (!fabric->all_hosts_routed()) {
     fail("fabric: a switch is missing a preloaded route to some host (" +
@@ -1024,6 +1043,9 @@ FabricRun run_fabric_once(const FabricScenario& s, std::uint64_t seed,
       check_link(*port, "fabric-h" + std::to_string(i), fail);
     }
     check_nic(fabric->host(i), "fabric-h" + std::to_string(i), fail);
+    const auto& nic = fabric->host(i).nic().stats();
+    out.nic_rx_delivered += nic.rx_delivered;
+    out.nic_rx_dropped += nic.rx_dropped;
     auto& access = fabric->host_link(i);
     out.access_tx_frames += access.a().stats().tx_frames;
     out.access_rx_frames += access.a().stats().rx_frames;
@@ -1048,36 +1070,67 @@ FabricRun run_fabric_once(const FabricScenario& s, std::uint64_t seed,
   return out;
 }
 
+// Compares two engines' observable outcomes field by field. Used for both
+// identity oracles (batched-vs-per-frame and serial-vs-sharded): same
+// transfer byte counts and completions (content is covered by the receiver's
+// per-byte mismatch oracle inside each run), same access-link frame counts,
+// same summed NIC verdicts.
+void check_run_identity(const FabricRun& a, const FabricRun& b,
+                        const char* oracle, const char* a_name,
+                        const char* b_name, Failures fail) {
+  if (a.received != b.received || a.complete != b.complete) {
+    std::string detail;
+    for (std::size_t i = 0; i < a.received.size(); ++i) {
+      detail += " transfer" + std::to_string(i) + "=" +
+                std::to_string(a.received[i]) + "/" +
+                std::to_string(b.received[i]);
+    }
+    fail(std::string(oracle) + ": " + a_name + " vs " + b_name +
+         " transfer outcomes diverged (" + a_name + "/" + b_name + "):" + detail);
+  }
+  if (a.access_tx_frames != b.access_tx_frames ||
+      a.access_rx_frames != b.access_rx_frames) {
+    fail(std::string(oracle) + ": access-link frame counts diverged (tx " +
+         std::to_string(a.access_tx_frames) + " vs " +
+         std::to_string(b.access_tx_frames) + ", rx " +
+         std::to_string(a.access_rx_frames) + " vs " +
+         std::to_string(b.access_rx_frames) + ")");
+  }
+  if (a.nic_rx_delivered != b.nic_rx_delivered ||
+      a.nic_rx_dropped != b.nic_rx_dropped) {
+    fail(std::string(oracle) + ": NIC verdict counts diverged (delivered " +
+         std::to_string(a.nic_rx_delivered) + " vs " +
+         std::to_string(b.nic_rx_delivered) + ", dropped " +
+         std::to_string(a.nic_rx_dropped) + " vs " +
+         std::to_string(b.nic_rx_dropped) + ")");
+  }
+}
+
 void run_fabric_scenario(const FabricScenario& s, std::uint64_t seed,
                          std::vector<std::string>* failures,
                          std::string* trace_tail, const FuzzOptions& options) {
   Failures fail{failures};
-  const FabricRun batched =
-      run_fabric_once(s, seed, /*batched=*/true, failures, trace_tail, options);
-  const FabricRun per_frame =
-      run_fabric_once(s, seed, /*batched=*/false, failures, trace_tail, options);
+  const FabricRun batched = run_fabric_once(s, seed, /*batched=*/true,
+                                            /*shards=*/0, failures, trace_tail,
+                                            options);
+  const FabricRun per_frame = run_fabric_once(s, seed, /*batched=*/false,
+                                              /*shards=*/0, failures,
+                                              trace_tail, options);
 
   // The batched engine is an optimization, not a model change: same frames,
   // same bytes, same completions.
-  if (batched.received != per_frame.received ||
-      batched.complete != per_frame.complete) {
-    std::string detail;
-    for (std::size_t i = 0; i < batched.received.size(); ++i) {
-      detail += " transfer" + std::to_string(i) + "=" +
-                std::to_string(batched.received[i]) + "/" +
-                std::to_string(per_frame.received[i]);
-    }
-    fail("batched-identity: batched vs per-frame transfer outcomes diverged "
-         "(batched/per-frame):" + detail);
-  }
-  if (batched.access_tx_frames != per_frame.access_tx_frames ||
-      batched.access_rx_frames != per_frame.access_rx_frames) {
-    fail("batched-identity: access-link frame counts diverged (tx " +
-         std::to_string(batched.access_tx_frames) + " vs " +
-         std::to_string(per_frame.access_tx_frames) + ", rx " +
-         std::to_string(batched.access_rx_frames) + " vs " +
-         std::to_string(per_frame.access_rx_frames) + ")");
-  }
+  check_run_identity(batched, per_frame, "batched-identity", "batched",
+                     "per-frame", fail);
+
+  // Shard-identity oracle: the same scenario under the conservative parallel
+  // engine (K from BARB_DES_SHARDS, else 2) must reproduce the serial batched
+  // run exactly. Draws from no new streams — the scenario is reused as-is.
+  const int env_shards = core::des_shards_from_env();
+  const int shards = env_shards > 1 ? env_shards : 2;
+  const FabricRun sharded = run_fabric_once(s, seed, /*batched=*/true, shards,
+                                            failures, trace_tail, options);
+  check_run_identity(batched, sharded, "shard-identity", "serial", "sharded",
+                     fail);
 }
 
 std::string fabric_summary(const FabricScenario& s) {
