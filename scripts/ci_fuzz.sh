@@ -28,6 +28,13 @@ cmake -B build-asan -S . -DASAN=ON
 cmake --build build-asan -j "$(nproc)" --target fuzz_main
 build-asan/tests/fuzz_main --seeds "$SEEDS" --base "$BASE"
 
+echo "=== policy family under ASan/UBSan: ${SEEDS} seeds + regression corpus ==="
+# Realistic policy corpora (generator -> analyzer ground truth -> three-way
+# match oracle) with the curated shape-coverage seeds appended.
+build-asan/tests/fuzz_main --family policy --seeds "$SEEDS" --base "$BASE"
+build-asan/tests/fuzz_main --family policy \
+  --seed-file tests/data/policy_fuzz_seeds.txt
+
 echo "=== fuzz under TSan: 12 seeds from ${BASE}, --jobs 4 ==="
 cmake -B build-tsan -S . -DTSAN=ON
 cmake --build build-tsan -j "$(nproc)" --target fuzz_main

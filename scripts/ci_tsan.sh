@@ -39,3 +39,8 @@ BARB_BENCH_FAST=1 "$BUILD_DIR"/bench/fleet_goodput --jobs 4
 "$BUILD_DIR"/tests/sim_parallel_engine_test
 BARB_BENCH_FAST=1 BARB_DES_SHARDS=4 "$BUILD_DIR"/bench/fleet_goodput
 BARB_DES_SHARDS=4 "$BUILD_DIR"/tests/fuzz_main --seeds 5
+
+# Policy-family seeds at --jobs 4: corpus generation, the pairwise analyzer,
+# and the compiled/flow-cache oracle all run on pool threads — TSan proves
+# the policygen path is shared-nothing too.
+"$BUILD_DIR"/tests/fuzz_main --family policy --seeds 8 --jobs 4

@@ -1,0 +1,620 @@
+#include "firewall/policygen/policy_corpus.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace barb::firewall::policygen {
+namespace {
+
+using net::FiveTuple;
+using net::Ipv4Address;
+
+// --- Enterprise address universe -----------------------------------------
+//
+// Department client networks 10.D.0.0/16 (D in 1..6) with /24 subnets and
+// hosts, a server farm 10.0.0.0/24, and a DMZ 192.168.1.0/24. The blocks
+// 172.16.0.0/16 / 172.17.0.0/16 are reserved for the generator's fallback
+// rules and never appear in archetype rules — combined with the invariant
+// that every archetype rule pins its destination (and therefore every
+// directed box pins at least one address field) inside the universe nets,
+// a fallback rule can never be covered by or cover an archetype rule.
+
+constexpr std::uint16_t kServicePorts[] = {22,  25,   53,   80,   110,
+                                           123, 143,  389,  443,  636,
+                                           993, 3306, 5432, 8080, 8443};
+constexpr std::uint16_t kRiskyPorts[] = {23, 135, 137, 139, 161, 445, 1433, 3389, 5900};
+struct PortSpan {
+  std::uint16_t lo, hi;
+};
+constexpr PortSpan kServiceRanges[] = {
+    {5060, 5061}, {6000, 6063}, {8000, 8099}, {10000, 10999}, {27000, 27050}};
+
+struct Endpoint {
+  Ipv4Address net;
+  int prefix = 0;
+};
+
+std::uint32_t u32(sim::Random& rng, std::uint32_t bound) {
+  return static_cast<std::uint32_t>(rng.uniform(bound));
+}
+
+Endpoint dept_subnet(sim::Random& rng) {
+  const std::uint8_t d = static_cast<std::uint8_t>(1 + u32(rng, 6));
+  if (rng.bernoulli(0.45)) return {Ipv4Address(10, d, 0, 0), 16};
+  const std::uint8_t s = static_cast<std::uint8_t>(1 + u32(rng, 8));
+  return {Ipv4Address(10, d, s, 0), 24};
+}
+
+Endpoint dept_host(sim::Random& rng) {
+  const std::uint8_t d = static_cast<std::uint8_t>(1 + u32(rng, 6));
+  const std::uint8_t s = static_cast<std::uint8_t>(1 + u32(rng, 8));
+  const std::uint8_t h = static_cast<std::uint8_t>(10 + u32(rng, 240));
+  return {Ipv4Address(10, d, s, h), 32};
+}
+
+Endpoint server_subnet() { return {Ipv4Address(10, 0, 0, 0), 24}; }
+
+Endpoint server_host(sim::Random& rng) {
+  return {Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(2 + u32(rng, 39))), 32};
+}
+
+Endpoint dmz_subnet() { return {Ipv4Address(192, 168, 1, 0), 24}; }
+
+Endpoint dmz_host(sim::Random& rng) {
+  return {Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(2 + u32(rng, 60))), 32};
+}
+
+std::uint16_t pick(sim::Random& rng, const std::uint16_t* arr, std::size_t n) {
+  return arr[rng.uniform(n)];
+}
+
+PortRange service_port(sim::Random& rng) {
+  if (rng.bernoulli(0.3)) {
+    const PortSpan span = kServiceRanges[rng.uniform(std::size(kServiceRanges))];
+    return PortRange{span.lo, span.hi};
+  }
+  const std::uint16_t p = pick(rng, kServicePorts, std::size(kServicePorts));
+  return PortRange{p, p};
+}
+
+void set_src(Rule& r, Endpoint e) {
+  r.src_net = e.net;
+  r.src_prefix = e.prefix;
+}
+void set_dst(Rule& r, Endpoint e) {
+  r.dst_net = e.net;
+  r.dst_prefix = e.prefix;
+}
+
+// One realistic rule. Invariant (see universe note above): dst is always a
+// universe subnet or host, never "any"; VPG rules keep protocol 0 and stay
+// bidirectional so they survive a policy-DSL round trip.
+Rule archetype_rule(sim::Random& rng, double vpg_fraction, double oneway_fraction) {
+  Rule r;
+  if (rng.bernoulli(vpg_fraction)) {
+    r.action = RuleAction::kVpg;
+    r.vpg_id = 1 + u32(rng, 48);
+    set_src(r, rng.bernoulli(0.6) ? dept_subnet(rng) : dept_host(rng));
+    set_dst(r, rng.bernoulli(0.6) ? server_host(rng) : server_subnet());
+    // Tunnels mostly protect one specific service. This also keeps the VPG
+    // selector space wide: port-pinned tunnels rarely cover each other, so
+    // heavy-VPG corpora stay clean-by-construction without exhausting the
+    // rejection sampler.
+    if (!rng.bernoulli(0.15)) {
+      const std::uint16_t p = rng.bernoulli(0.7)
+                                  ? pick(rng, kServicePorts, std::size(kServicePorts))
+                                  : static_cast<std::uint16_t>(1024 + u32(rng, 30000));
+      r.dst_ports = PortRange{p, p};
+    }
+    return r;
+  }
+  r.bidirectional = !rng.bernoulli(oneway_fraction);
+  switch (u32(rng, 100)) {
+    default: {  // service allow: clients (or anyone) to a server
+      r.action = RuleAction::kAllow;
+      r.protocol = 6;
+      const std::uint32_t src = u32(rng, 10);
+      if (src < 4) {
+        // from any
+      } else if (src < 8) {
+        set_src(r, dept_subnet(rng));
+      } else {
+        set_src(r, dept_host(rng));
+      }
+      set_dst(r, server_host(rng));
+      r.dst_ports = service_port(rng);
+      break;
+    }
+    case 30 ... 44: {  // block a risky service into a protected net
+      r.action = RuleAction::kDeny;
+      r.protocol = rng.bernoulli(0.7) ? 6 : 17;
+      switch (u32(rng, 3)) {
+        case 0: set_dst(r, dept_subnet(rng)); break;
+        case 1: set_dst(r, server_subnet()); break;
+        default: set_dst(r, dmz_subnet()); break;
+      }
+      const std::uint16_t p = pick(rng, kRiskyPorts, std::size(kRiskyPorts));
+      r.dst_ports = PortRange{p, p};
+      break;
+    }
+    case 45 ... 64: {  // subnet-to-subnet policy
+      r.action = rng.bernoulli(0.55) ? RuleAction::kAllow : RuleAction::kDeny;
+      const std::uint32_t proto = u32(rng, 10);
+      r.protocol = proto < 5 ? 6 : (proto < 8 ? 17 : 0);
+      set_src(r, dept_subnet(rng));
+      switch (u32(rng, 3)) {
+        case 0: set_dst(r, dept_subnet(rng)); break;
+        case 1: set_dst(r, server_subnet()); break;
+        default: set_dst(r, dmz_subnet()); break;
+      }
+      if (rng.bernoulli(0.4)) r.dst_ports = service_port(rng);
+      break;
+    }
+    case 65 ... 74: {  // ICMP policy
+      r.action = rng.bernoulli(0.5) ? RuleAction::kAllow : RuleAction::kDeny;
+      r.protocol = 1;
+      if (rng.bernoulli(0.6)) set_src(r, dept_subnet(rng));
+      switch (u32(rng, 3)) {
+        case 0: set_dst(r, server_subnet()); break;
+        case 1: set_dst(r, dept_subnet(rng)); break;
+        default: set_dst(r, dmz_host(rng)); break;
+      }
+      break;
+    }
+    case 75 ... 84: {  // management lockdown on a single box
+      r.action = RuleAction::kDeny;
+      r.protocol = 6;
+      set_dst(r, rng.bernoulli(0.5) ? server_host(rng) : dmz_host(rng));
+      constexpr std::uint16_t kMgmt[] = {22, 23, 3389};
+      const std::uint16_t p = pick(rng, kMgmt, std::size(kMgmt));
+      r.dst_ports = PortRange{p, p};
+      break;
+    }
+    case 85 ... 99: {  // published DMZ service
+      r.action = RuleAction::kAllow;
+      r.protocol = 6;
+      set_dst(r, dmz_host(rng));
+      constexpr std::uint16_t kPub[] = {25, 80, 443};
+      const std::uint16_t p = pick(rng, kPub, std::size(kPub));
+      r.dst_ports = PortRange{p, p};
+      break;
+    }
+  }
+  return r;
+}
+
+// Guaranteed-disjoint filler used when rejection sampling runs out of
+// attempts: unique /32 endpoints in the reserved 172.16/172.17 blocks with a
+// unique single destination port. Provably neither covers nor is covered by
+// any other rule the generator emits, so it never needs the clean-filter
+// scan.
+Rule fallback_rule(int k) {
+  Rule r;
+  r.action = (k % 2) != 0 ? RuleAction::kAllow : RuleAction::kDeny;
+  r.protocol = 6;
+  r.src_net = Ipv4Address(172, 17, static_cast<std::uint8_t>((k >> 8) & 0xff),
+                          static_cast<std::uint8_t>(k & 0xff));
+  r.src_prefix = 32;
+  r.dst_net = Ipv4Address(172, 16, static_cast<std::uint8_t>((k >> 8) & 0xff),
+                          static_cast<std::uint8_t>(k & 0xff));
+  r.dst_prefix = 32;
+  const std::uint16_t p = static_cast<std::uint16_t>(40000 + k);
+  r.dst_ports = PortRange{p, p};
+  r.bidirectional = false;
+  return r;
+}
+
+bool coverage_clash(const std::vector<Rule>& rules, const Rule& cand) {
+  for (const Rule& r : rules) {
+    if (RuleSetAnalyzer::rule_covers(r, cand) ||
+        RuleSetAnalyzer::rule_covers(cand, r)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Dirty stress shapes ---------------------------------------------------
+
+Rule any_any_pile_rule(sim::Random& rng) {
+  Rule r;
+  const std::uint32_t act = u32(rng, 10);
+  r.action = act < 5 ? RuleAction::kAllow : RuleAction::kDeny;
+  const std::uint32_t proto = u32(rng, 10);
+  r.protocol = proto < 6 ? 0 : (proto < 8 ? 6 : 17);
+  if (rng.bernoulli(0.2)) set_src(r, {Ipv4Address(10, 0, 0, 0), 8});
+  if (rng.bernoulli(0.2)) set_dst(r, {Ipv4Address(10, 0, 0, 0), 8});
+  if (rng.bernoulli(0.15)) {
+    const std::uint16_t p = pick(rng, kServicePorts, std::size(kServicePorts));
+    r.dst_ports = PortRange{p, p};
+  }
+  r.bidirectional = !rng.bernoulli(0.3);
+  return r;
+}
+
+Rule adversarial_rule(sim::Random& rng) {
+  // Tiny universe: eight addresses, eight ports — everything overlaps
+  // everything, prefixes land on /30../32 boundaries, ranges touch at
+  // endpoints. Exercises every closed-interval edge case in the geometry.
+  Rule r;
+  r.action = rng.bernoulli(0.5) ? RuleAction::kAllow : RuleAction::kDeny;
+  r.protocol = rng.bernoulli(0.8) ? 6 : 0;
+  const auto tiny = [&rng]() -> Endpoint {
+    if (rng.bernoulli(0.15)) return {Ipv4Address::any(), 0};
+    const int prefix = 30 + static_cast<int>(u32(rng, 3));
+    const std::uint32_t mask = 0xffffffffu << (32 - prefix);
+    const std::uint32_t base = Ipv4Address(10, 9, 9, static_cast<std::uint8_t>(u32(rng, 8))).value();
+    return {Ipv4Address(base & mask), prefix};
+  };
+  set_src(r, tiny());
+  set_dst(r, tiny());
+  const auto tiny_ports = [&rng]() -> PortRange {
+    if (rng.bernoulli(0.3)) return PortRange{};
+    const std::uint16_t lo = static_cast<std::uint16_t>(1 + u32(rng, 8));
+    const std::uint16_t hi = static_cast<std::uint16_t>(lo + u32(rng, 8));
+    return PortRange{lo, hi};
+  };
+  r.src_ports = tiny_ports();
+  r.dst_ports = tiny_ports();
+  r.bidirectional = rng.bernoulli(0.5);
+  return r;
+}
+
+// --- Error injection -------------------------------------------------------
+
+struct Builder {
+  std::vector<Rule> rules;
+  std::vector<char> is_base;
+  std::vector<InjectedError> errs;
+
+  void insert(int pos, Rule r, bool base) {
+    rules.insert(rules.begin() + pos, std::move(r));
+    is_base.insert(is_base.begin() + pos, base ? 1 : 0);
+    for (InjectedError& e : errs) {
+      if (e.rule_index >= pos) ++e.rule_index;
+      if (e.other_index >= pos) ++e.other_index;
+    }
+  }
+  int size() const { return static_cast<int>(rules.size()); }
+};
+
+// A strictly narrower copy of `base` (one guaranteed-strict narrowing plus
+// optional extras), with the action flipped when same_action is false.
+// VPG rules that stay VPG keep protocol 0 and bidirectionality so the
+// policy-DSL round trip is preserved. Returns nullopt when no field of the
+// base rule can be narrowed.
+std::optional<Rule> specialize(const Rule& base, bool same_action, sim::Random& rng) {
+  Rule r = base;
+  if (!same_action) {
+    r.action = base.action == RuleAction::kAllow ? RuleAction::kDeny : RuleAction::kAllow;
+    r.vpg_id = 0;
+  }
+  const bool stays_vpg = r.action == RuleAction::kVpg;
+
+  const auto narrow_addr = [&rng](Ipv4Address& net, int& prefix) {
+    if (prefix == 0) {
+      const Endpoint e = rng.bernoulli(0.5) ? dept_subnet(rng) : dept_host(rng);
+      net = e.net;
+      prefix = e.prefix;
+      return;
+    }
+    const int deepen = 1 + static_cast<int>(u32(rng, static_cast<std::uint32_t>(
+                               std::min(8, 32 - prefix))));
+    const int next = prefix + deepen;
+    const std::uint32_t block = u32(rng, 1u << deepen);
+    net = Ipv4Address(net.value() | (block << (32 - next)));
+    prefix = next;
+  };
+  const auto narrow_ports = [&rng](PortRange& ports) {
+    if (ports.any()) {
+      const std::uint16_t p = pick(rng, kServicePorts, std::size(kServicePorts));
+      ports = PortRange{p, p};
+      return;
+    }
+    const std::uint16_t p = static_cast<std::uint16_t>(
+        ports.lo + u32(rng, static_cast<std::uint32_t>(ports.hi - ports.lo) + 1));
+    ports = PortRange{p, p};
+  };
+
+  enum Op { kSrcAddr, kDstAddr, kSrcPorts, kDstPorts, kProto };
+  Op applicable[5];
+  int n_ops = 0;
+  if (r.src_prefix < 32) applicable[n_ops++] = kSrcAddr;
+  if (r.dst_prefix < 32) applicable[n_ops++] = kDstAddr;
+  if (r.src_ports.any() || r.src_ports.lo < r.src_ports.hi) applicable[n_ops++] = kSrcPorts;
+  if (r.dst_ports.any() || r.dst_ports.lo < r.dst_ports.hi) applicable[n_ops++] = kDstPorts;
+  if (r.protocol == 0 && !stays_vpg) applicable[n_ops++] = kProto;
+  if (n_ops == 0) return std::nullopt;
+
+  const int mandatory = static_cast<int>(u32(rng, static_cast<std::uint32_t>(n_ops)));
+  for (int k = 0; k < n_ops; ++k) {
+    if (k != mandatory && !rng.bernoulli(0.25)) continue;
+    switch (applicable[k]) {
+      case kSrcAddr: narrow_addr(r.src_net, r.src_prefix); break;
+      case kDstAddr: narrow_addr(r.dst_net, r.dst_prefix); break;
+      case kSrcPorts: narrow_ports(r.src_ports); break;
+      case kDstPorts: narrow_ports(r.dst_ports); break;
+      case kProto: r.protocol = rng.bernoulli(0.7) ? 6 : 17; break;
+    }
+  }
+  return r;
+}
+
+// Index of a base rule that specialize() can narrow; -1 when none found.
+int pick_narrowable_base(const Builder& b, bool same_action, sim::Random& rng,
+                         Rule* out) {
+  if (b.size() == 0) return -1;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int idx = static_cast<int>(u32(rng, static_cast<std::uint32_t>(b.size())));
+    if (b.is_base[static_cast<std::size_t>(idx)] == 0) continue;
+    if (auto spec = specialize(b.rules[static_cast<std::size_t>(idx)], same_action, rng)) {
+      *out = *spec;
+      return idx;
+    }
+  }
+  return -1;
+}
+
+void inject_errors(Builder& b, const CorpusSpec& spec, sim::Random& rng) {
+  // Covered-rule classes first, the any-any at the very end of the list
+  // (where real catch-alls live), stale-temporary pairs last so nothing
+  // re-inserts between a stale rule and its adjacent coverer.
+  for (int k = 0; k < spec.shadowed + spec.redundant; ++k) {
+    const bool same_action = k >= spec.shadowed;
+    Rule s;
+    const int idx = pick_narrowable_base(b, same_action, rng, &s);
+    if (idx < 0) continue;
+    const int pos = idx + 1 + static_cast<int>(u32(
+                        rng, static_cast<std::uint32_t>(b.size() - idx)));
+    b.insert(pos, s, false);
+    b.errs.push_back(InjectedError{
+        same_action ? ErrorClass::kRedundantRule : ErrorClass::kShadowedRule, pos, idx});
+  }
+
+  for (int k = 0; k < spec.conflicts; ++k) {
+    // Two one-way rules whose regions properly cross: A narrows the source,
+    // B narrows the destination ports, different actions.
+    const std::uint8_t d = static_cast<std::uint8_t>(1 + u32(rng, 6));
+    const std::uint8_t e = static_cast<std::uint8_t>(1 + u32(rng, 6));
+    const std::uint8_t c = static_cast<std::uint8_t>(1 + u32(rng, 8));
+    const bool a_denies = rng.bernoulli(0.5);
+    const std::uint8_t proto = rng.bernoulli(0.7) ? 6 : 17;
+
+    Rule a;
+    a.action = a_denies ? RuleAction::kDeny : RuleAction::kAllow;
+    a.protocol = proto;
+    set_src(a, {Ipv4Address(10, d, c, 0), 24});
+    set_dst(a, {Ipv4Address(10, e, 0, 0), 16});
+    a.bidirectional = false;
+
+    Rule bb;
+    bb.action = a_denies ? RuleAction::kAllow : RuleAction::kDeny;
+    bb.protocol = proto;
+    set_src(bb, {Ipv4Address(10, d, 0, 0), 16});
+    set_dst(bb, {Ipv4Address(10, e, 0, 0), 16});
+    bb.dst_ports = service_port(rng);
+    bb.bidirectional = false;
+
+    const int pos_a = static_cast<int>(u32(rng, static_cast<std::uint32_t>(b.size()) + 1));
+    b.insert(pos_a, a, false);
+    const int pos_b = pos_a + 1 + static_cast<int>(u32(
+                          rng, static_cast<std::uint32_t>(b.size() - pos_a)));
+    b.insert(pos_b, bb, false);
+    b.errs.push_back(InjectedError{ErrorClass::kConflictingPair, pos_b, pos_a});
+  }
+
+  for (int k = 0; k < spec.any_any; ++k) {
+    Rule r;
+    r.action = RuleAction::kAllow;
+    b.insert(b.size(), r, false);
+    b.errs.push_back(InjectedError{ErrorClass::kAnyAnyAllow, b.size() - 1, -1});
+  }
+
+  for (int k = 0; k < spec.stale; ++k) {
+    Rule s;
+    const int idx = pick_narrowable_base(b, /*same_action=*/true, rng, &s);
+    if (idx < 0) continue;
+    // Immediately above its coverer: no intervener, so the analyzer's
+    // obsolete check is guaranteed to fire. Partner left open (-1) — another
+    // injected rule may be the analyzer's "first later coverer".
+    b.insert(idx, s, false);
+    b.errs.push_back(InjectedError{ErrorClass::kStaleTemporary, idx, -1});
+  }
+}
+
+}  // namespace
+
+const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kShadowedRule: return "shadowed-rule";
+    case ErrorClass::kRedundantRule: return "redundant-rule";
+    case ErrorClass::kStaleTemporary: return "stale-temporary";
+    case ErrorClass::kAnyAnyAllow: return "any-any-allow";
+    case ErrorClass::kConflictingPair: return "conflicting-pair";
+  }
+  return "?";
+}
+
+FindingKind expected_finding(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kShadowedRule: return FindingKind::kShadowed;
+    case ErrorClass::kRedundantRule: return FindingKind::kRedundant;
+    case ErrorClass::kStaleTemporary: return FindingKind::kObsolete;
+    case ErrorClass::kAnyAnyAllow: return FindingKind::kAnyAny;
+    case ErrorClass::kConflictingPair: return FindingKind::kConflict;
+  }
+  return FindingKind::kShadowed;
+}
+
+const char* to_string(CorpusShape shape) {
+  switch (shape) {
+    case CorpusShape::kRealistic: return "realistic";
+    case CorpusShape::kMaxDepth: return "max-depth";
+    case CorpusShape::kHeavyVpg: return "heavy-vpg";
+    case CorpusShape::kAllAnyAny: return "all-any-any";
+    case CorpusShape::kAdversarialOverlap: return "adversarial-overlap";
+  }
+  return "?";
+}
+
+std::string GeneratedCorpus::summary() const {
+  std::ostringstream os;
+  os << "shape=" << policygen::to_string(shape) << " rules=" << rules.size()
+     << " (base " << base_rules << ")";
+  if (!injected.empty()) {
+    int counts[5] = {0, 0, 0, 0, 0};
+    for (const InjectedError& e : injected) ++counts[static_cast<int>(e.kind)];
+    os << " injected:";
+    for (int k = 0; k < 5; ++k) {
+      if (counts[k] > 0) {
+        os << " " << counts[k] << " "
+           << policygen::to_string(static_cast<ErrorClass>(k));
+      }
+    }
+  }
+  return os.str();
+}
+
+DetectionOutcome check_detection(const GeneratedCorpus& corpus,
+                                 const AnalysisReport& report) {
+  DetectionOutcome out;
+  out.injected = static_cast<int>(corpus.injected.size());
+  for (const InjectedError& e : corpus.injected) {
+    if (report.has(expected_finding(e.kind), e.rule_index, e.other_index)) {
+      ++out.detected;
+    } else {
+      out.missed.push_back(e);
+    }
+  }
+  return out;
+}
+
+int PolicyCorpusGenerator::draw_rule_count(sim::Random& rng) {
+  // Wool's surveyed policies: most are small (tens of rules), a fat middle
+  // in the low hundreds, and a thin tail into the thousands.
+  const double r = rng.uniform_real();
+  if (r < 0.35) return 10 + static_cast<int>(rng.uniform(51));
+  if (r < 0.70) return 60 + static_cast<int>(rng.uniform(141));
+  if (r < 0.92) return 200 + static_cast<int>(rng.uniform(601));
+  return 800 + static_cast<int>(rng.uniform(1701));
+}
+
+net::FiveTuple PolicyCorpusGenerator::random_universe_tuple() {
+  sim::Random& rng = rng_;
+  FiveTuple t;
+  const auto ephemeral = [&rng]() {
+    return static_cast<std::uint16_t>(49152 + u32(rng, 16384));
+  };
+  switch (u32(rng, 10)) {
+    default: {  // client to server-farm service
+      t.src = dept_host(rng).net;
+      t.dst = server_host(rng).net;
+      t.protocol = 6;
+      t.src_port = ephemeral();
+      t.dst_port = pick(rng, kServicePorts, std::size(kServicePorts));
+      break;
+    }
+    case 5: {  // client to DMZ
+      t.src = dept_host(rng).net;
+      t.dst = dmz_host(rng).net;
+      t.protocol = 6;
+      t.src_port = ephemeral();
+      constexpr std::uint16_t kPub[] = {25, 80, 443};
+      t.dst_port = pick(rng, kPub, std::size(kPub));
+      break;
+    }
+    case 6: {  // outsider probing a server (service or risky port)
+      t.src = Ipv4Address(u32(rng, 0xffffffffu) | 1u);
+      t.dst = server_host(rng).net;
+      t.protocol = 6;
+      t.src_port = ephemeral();
+      t.dst_port = rng.bernoulli(0.5)
+                       ? pick(rng, kServicePorts, std::size(kServicePorts))
+                       : pick(rng, kRiskyPorts, std::size(kRiskyPorts));
+      break;
+    }
+    case 7: {  // east-west department chatter, arbitrary ports
+      t.src = dept_host(rng).net;
+      t.dst = dept_host(rng).net;
+      t.protocol = rng.bernoulli(0.5) ? 6 : 17;
+      t.src_port = static_cast<std::uint16_t>(1 + u32(rng, 65535));
+      t.dst_port = static_cast<std::uint16_t>(1 + u32(rng, 65535));
+      break;
+    }
+    case 8: {  // ICMP
+      t.src = dept_host(rng).net;
+      t.dst = rng.bernoulli(0.5) ? server_host(rng).net : dmz_host(rng).net;
+      t.protocol = 1;
+      break;
+    }
+    case 9: {  // anywhere inside 10/8
+      t.src = Ipv4Address((10u << 24) | u32(rng, 1u << 24));
+      t.dst = Ipv4Address((10u << 24) | u32(rng, 1u << 24));
+      t.protocol = rng.bernoulli(0.6) ? 6 : 17;
+      t.src_port = static_cast<std::uint16_t>(1 + u32(rng, 65535));
+      t.dst_port = static_cast<std::uint16_t>(1 + u32(rng, 65535));
+      break;
+    }
+  }
+  return t;
+}
+
+GeneratedCorpus PolicyCorpusGenerator::generate(const CorpusSpec& spec) {
+  GeneratedCorpus out;
+  out.shape = spec.shape;
+
+  int n = spec.rules;
+  Builder b;
+
+  if (spec.shape == CorpusShape::kAllAnyAny ||
+      spec.shape == CorpusShape::kAdversarialOverlap) {
+    // Dirty stress shapes: no clean filter, no injection (ground truth would
+    // be ambiguous under near-total mutual coverage).
+    if (n <= 0) {
+      n = spec.shape == CorpusShape::kAllAnyAny
+              ? 40 + static_cast<int>(rng_.uniform(121))
+              : 30 + static_cast<int>(rng_.uniform(171));
+    }
+    for (int i = 0; i < n; ++i) {
+      b.rules.push_back(spec.shape == CorpusShape::kAllAnyAny
+                            ? any_any_pile_rule(rng_)
+                            : adversarial_rule(rng_));
+      b.is_base.push_back(1);
+    }
+    out.base_rules = n;
+    out.rules = RuleSet(std::move(b.rules), spec.default_action);
+    return out;
+  }
+
+  if (n <= 0) {
+    n = spec.shape == CorpusShape::kMaxDepth
+            ? 1800 + static_cast<int>(rng_.uniform(701))
+            : draw_rule_count(rng_);
+  }
+  const double vpg_fraction = spec.shape == CorpusShape::kHeavyVpg
+                                  ? std::max(spec.vpg_fraction, 0.6)
+                                  : spec.vpg_fraction;
+
+  int fallback_counter = 0;
+  for (int i = 0; i < n; ++i) {
+    Rule r;
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      r = archetype_rule(rng_, vpg_fraction, spec.oneway_fraction);
+      placed = !coverage_clash(b.rules, r);
+    }
+    if (!placed) r = fallback_rule(fallback_counter++);
+    b.rules.push_back(r);
+    b.is_base.push_back(1);
+  }
+  out.base_rules = n;
+
+  inject_errors(b, spec, rng_);
+
+  out.rules = RuleSet(std::move(b.rules), spec.default_action);
+  out.injected = std::move(b.errs);
+  return out;
+}
+
+}  // namespace barb::firewall::policygen

@@ -1,0 +1,137 @@
+// Seed-deterministic generator of realistic firewall rule corpora.
+//
+// Everything before this module matched traffic against synthetic depth-N
+// rule lists (N identical-shape rules, one hit at a chosen depth). Real
+// enterprise policies — the ones the paper's EFW/ADF tools compile onto the
+// NIC — look nothing like that: Wool's error surveys (PAPERS.md) report
+// rule counts from tens to thousands (heavily skewed small), a mix of very
+// specific host/port rules and broad subnet rules, symmetric conversation
+// rules, and a recurring set of configuration errors. This generator emits
+// corpora with that shape so rule-set *shape* becomes a first-class workload
+// dimension for the match backends, the fuzzer, and the benches.
+//
+// Two properties make the corpora usable as oracles:
+//  * Clean by construction: base rules are drawn over a fixed enterprise
+//    address universe and a candidate is rejected whenever it covers or is
+//    covered by an existing rule (under RuleSetAnalyzer::rule_covers, the
+//    same pairwise predicate the analyzer uses). A clean corpus therefore
+//    yields exactly zero error-class findings — any analyzer error finding
+//    on a clean corpus is a genuine false positive, and the tests count
+//    them. Crossing overlaps with different actions (conflict warnings) are
+//    realistic and intentionally NOT rejected.
+//  * Tagged error injection: each injected error instance records its class
+//    and final rule indices, so analyzer output is checkable against ground
+//    truth instance by instance.
+//
+// All randomness comes from one sim::Random owned by the generator; the same
+// seed reproduces the same corpus bit-for-bit on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "firewall/policygen/rule_analyzer.h"
+#include "firewall/rule_set.h"
+#include "net/five_tuple.h"
+#include "sim/random.h"
+
+namespace barb::firewall::policygen {
+
+// The error classes Wool reports from production firewalls, as injectable
+// mutations with ground truth.
+enum class ErrorClass : std::uint8_t {
+  kShadowedRule,     // specialization inserted after a covering rule with the
+                     // opposite action — it can never fire
+  kRedundantRule,    // specialization inserted after a covering rule with the
+                     // same action — dead weight
+  kStaleTemporary,   // same-action specialization left immediately above the
+                     // broader rule that later subsumed it
+  kAnyAnyAllow,      // overly permissive allow-everything catch-all
+  kConflictingPair,  // two rules whose regions properly cross with different
+                     // actions — order-dependent overlap
+};
+
+const char* to_string(ErrorClass cls);
+
+// The analyzer finding each injected class must produce.
+FindingKind expected_finding(ErrorClass cls);
+
+struct InjectedError {
+  ErrorClass kind = ErrorClass::kShadowedRule;
+  int rule_index = -1;   // flagged rule, index into the final rule list
+  int other_index = -1;  // partner (coverer / conflicting peer); -1 = any
+};
+
+// Corpus shapes. kRealistic draws everything from the enterprise universe
+// with the Wool-modeled size distribution; the others are fuzzer stress
+// shapes (see tests/fuzz). Only the first three are clean by construction —
+// the dirty shapes exist to stress the analyzer and the match backends, and
+// reject error injection (ground truth would be ambiguous there).
+enum class CorpusShape : std::uint8_t {
+  kRealistic,
+  kMaxDepth,             // realistic rules, forced to the deep end (~2k+)
+  kHeavyVpg,             // tunnel-dominated policy, many VPG ids
+  kAllAnyAny,            // wildcard pile-up: near-total mutual coverage
+  kAdversarialOverlap,   // random boxes over a tiny universe: dense partial
+                         // overlaps that stress the interval logic
+};
+
+const char* to_string(CorpusShape shape);
+
+struct CorpusSpec {
+  CorpusShape shape = CorpusShape::kRealistic;
+  // 0 = draw from the Wool-modeled size distribution (shape-dependent).
+  int rules = 0;
+  double vpg_fraction = 0.08;
+  double oneway_fraction = 0.25;
+  RuleAction default_action = RuleAction::kDeny;
+  // Error injection counts (clean shapes only; ignored for dirty shapes).
+  int shadowed = 0;
+  int redundant = 0;
+  int stale = 0;
+  int any_any = 0;
+  int conflicts = 0;
+};
+
+struct GeneratedCorpus {
+  RuleSet rules;
+  std::vector<InjectedError> injected;
+  CorpusShape shape = CorpusShape::kRealistic;
+  int base_rules = 0;  // rule count before injection
+
+  std::string summary() const;
+};
+
+// Outcome of matching an AnalysisReport against a corpus's ground truth.
+struct DetectionOutcome {
+  int injected = 0;
+  int detected = 0;
+  std::vector<InjectedError> missed;
+
+  bool all_detected() const { return detected == injected; }
+};
+
+DetectionOutcome check_detection(const GeneratedCorpus& corpus,
+                                 const AnalysisReport& report);
+
+class PolicyCorpusGenerator {
+ public:
+  explicit PolicyCorpusGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  GeneratedCorpus generate(const CorpusSpec& spec = {});
+
+  // Wool-modeled rule-count draw: heavily skewed toward small policies,
+  // with a long tail into the thousands.
+  static int draw_rule_count(sim::Random& rng);
+
+  // A five-tuple drawn from the same enterprise universe the rules are
+  // built over, so generated traffic actually lands inside rule regions
+  // instead of missing everything. Skewed toward server-bound flows.
+  net::FiveTuple random_universe_tuple();
+
+ private:
+  sim::Random rng_;
+};
+
+}  // namespace barb::firewall::policygen

@@ -1,0 +1,230 @@
+#include "firewall/policygen/rule_analyzer.h"
+
+#include <sstream>
+
+namespace barb::firewall::policygen {
+namespace {
+
+RuleBox directed_box(const Rule& r, bool reversed) {
+  RuleBox box;
+  // proto
+  if (r.protocol == 0) {
+    box.lo[0] = 0;
+    box.hi[0] = 255;
+  } else {
+    box.lo[0] = r.protocol;
+    box.hi[0] = r.protocol;
+  }
+  const auto addr_interval = [](net::Ipv4Address net, int prefix,
+                                std::uint32_t* lo, std::uint32_t* hi) {
+    if (prefix <= 0) {
+      *lo = 0;
+      *hi = 0xffffffffu;
+      return;
+    }
+    const std::uint32_t mask = 0xffffffffu << (32 - prefix);
+    *lo = net.value() & mask;
+    *hi = *lo | ~mask;
+  };
+  const auto port_interval = [](const PortRange& ports, std::uint32_t* lo,
+                                std::uint32_t* hi) {
+    if (ports.any()) {
+      *lo = 0;
+      *hi = 65535;
+    } else {
+      *lo = ports.lo;
+      *hi = ports.hi;
+    }
+  };
+  if (!reversed) {
+    addr_interval(r.src_net, r.src_prefix, &box.lo[1], &box.hi[1]);
+    addr_interval(r.dst_net, r.dst_prefix, &box.lo[2], &box.hi[2]);
+    port_interval(r.src_ports, &box.lo[3], &box.hi[3]);
+    port_interval(r.dst_ports, &box.lo[4], &box.hi[4]);
+  } else {
+    addr_interval(r.dst_net, r.dst_prefix, &box.lo[1], &box.hi[1]);
+    addr_interval(r.src_net, r.src_prefix, &box.lo[2], &box.hi[2]);
+    port_interval(r.dst_ports, &box.lo[3], &box.hi[3]);
+    port_interval(r.src_ports, &box.lo[4], &box.hi[4]);
+  }
+  return box;
+}
+
+struct Expanded {
+  RuleBox boxes[2];
+  int count = 1;
+};
+
+Expanded expand(const Rule& r) {
+  Expanded e;
+  e.boxes[0] = directed_box(r, false);
+  if (r.bidirectional) {
+    e.boxes[1] = directed_box(r, true);
+    e.count = 2;
+  }
+  return e;
+}
+
+bool covers(const Expanded& a, const Expanded& b) {
+  for (int jb = 0; jb < b.count; ++jb) {
+    bool covered = false;
+    for (int ia = 0; ia < a.count && !covered; ++ia) {
+      covered = a.boxes[ia].covers(b.boxes[jb]);
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool intersects(const Expanded& a, const Expanded& b) {
+  for (int ia = 0; ia < a.count; ++ia) {
+    for (int jb = 0; jb < b.count; ++jb) {
+      if (a.boxes[ia].intersects(b.boxes[jb])) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kShadowed:
+      return "shadowed";
+    case FindingKind::kRedundant:
+      return "redundant";
+    case FindingKind::kObsolete:
+      return "obsolete";
+    case FindingKind::kConflict:
+      return "conflict";
+    case FindingKind::kAnyAny:
+      return "any-any";
+  }
+  return "?";
+}
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << policygen::to_string(kind) << " rule#" << rule_index;
+  if (other_index >= 0) os << " (vs rule#" << other_index << ")";
+  return os.str();
+}
+
+bool AnalysisReport::has(FindingKind kind, int rule_index,
+                         int other_index) const {
+  for (const Finding& f : findings) {
+    if (f.kind == kind && f.rule_index == rule_index &&
+        (other_index < 0 || f.other_index == other_index)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AnalysisReport::to_string() const {
+  std::ostringstream os;
+  os << rules << " rules, " << entries << " entries: " << error_count()
+     << " errors (" << count(FindingKind::kShadowed) << " shadowed, "
+     << count(FindingKind::kRedundant) << " redundant, "
+     << count(FindingKind::kObsolete) << " obsolete, "
+     << count(FindingKind::kAnyAny) << " any-any), " << warning_count()
+     << " conflict warnings";
+  if (truncated > 0) os << ", " << truncated << " findings truncated";
+  return os.str();
+}
+
+void RuleSetAnalyzer::boxes_of(const Rule& rule, RuleBox out[2], int* count) {
+  const Expanded e = expand(rule);
+  out[0] = e.boxes[0];
+  if (e.count == 2) out[1] = e.boxes[1];
+  *count = e.count;
+}
+
+bool RuleSetAnalyzer::rule_covers(const Rule& a, const Rule& b) {
+  return covers(expand(a), expand(b));
+}
+
+bool RuleSetAnalyzer::rules_intersect(const Rule& a, const Rule& b) {
+  return intersects(expand(a), expand(b));
+}
+
+bool RuleSetAnalyzer::matches_everything(const Rule& rule) {
+  return rule.protocol == 0 && rule.src_prefix <= 0 && rule.dst_prefix <= 0 &&
+         rule.src_ports.any() && rule.dst_ports.any();
+}
+
+bool RuleSetAnalyzer::same_verdict(const Rule& a, const Rule& b) {
+  if (a.action != b.action) return false;
+  if (a.action == RuleAction::kVpg) return a.vpg_id == b.vpg_id;
+  return true;
+}
+
+AnalysisReport RuleSetAnalyzer::analyze(const RuleSet& rule_set) {
+  const std::vector<Rule>& rules = rule_set.rules();
+  const int n = static_cast<int>(rules.size());
+
+  AnalysisReport report;
+  report.rules = static_cast<std::size_t>(n);
+
+  std::vector<Expanded> geo;
+  geo.reserve(rules.size());
+  for (const Rule& r : rules) {
+    geo.push_back(expand(r));
+    report.entries += static_cast<std::size_t>(geo.back().count);
+  }
+
+  const auto add = [&report](FindingKind kind, int rule_index, int other_index,
+                             int* stored_slot, int cap) {
+    ++report.total[static_cast<int>(kind)];
+    if (stored_slot != nullptr && *stored_slot >= cap) {
+      ++report.truncated;
+      return;
+    }
+    if (stored_slot != nullptr) ++*stored_slot;
+    report.findings.push_back(Finding{kind, rule_index, other_index});
+  };
+
+  // Whether rule i already has its (first) later same-verdict coverer.
+  std::vector<char> obsolete_done(rules.size(), 0);
+
+  for (int j = 0; j < n; ++j) {
+    if (rules[j].action == RuleAction::kAllow && matches_everything(rules[j])) {
+      add(FindingKind::kAnyAny, j, -1, nullptr, 0);
+    }
+    int cover_stored = 0;
+    int conflict_stored = 0;
+    for (int i = 0; i < j; ++i) {
+      ++report.pairs_examined;
+      const bool verdicts_match = same_verdict(rules[i], rules[j]);
+      if (covers(geo[i], geo[j])) {
+        // First-match: i swallows all of j's traffic — j is dead.
+        add(verdicts_match ? FindingKind::kRedundant : FindingKind::kShadowed,
+            j, i, &cover_stored, kMaxCoverFindingsPerRule);
+        continue;
+      }
+      if (verdicts_match && !obsolete_done[static_cast<std::size_t>(i)] &&
+          covers(geo[j], geo[i])) {
+        // j (later, broader, same verdict) subsumes i. i is obsolete unless
+        // some rule between them carves a different verdict out of i's
+        // region — then removing i would re-route that overlap.
+        obsolete_done[static_cast<std::size_t>(i)] = 1;
+        bool blocked = false;
+        for (int m = i + 1; m < j && !blocked; ++m) {
+          blocked = !same_verdict(rules[m], rules[i]) &&
+                    intersects(geo[m], geo[i]);
+        }
+        if (!blocked) add(FindingKind::kObsolete, i, j, nullptr, 0);
+        continue;
+      }
+      if (!verdicts_match && !covers(geo[j], geo[i]) &&
+          intersects(geo[i], geo[j])) {
+        // Proper crossing with disagreeing verdicts: order-dependent overlap.
+        add(FindingKind::kConflict, j, i, &conflict_stored,
+            kMaxConflictFindingsPerRule);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace barb::firewall::policygen

@@ -1,0 +1,145 @@
+// Static rule-set analysis: shadowing, redundancy, staleness, conflicts.
+//
+// Wool's firewall-error surveys (PAPERS.md) show that real policies ship
+// with a recurring set of configuration errors — rules that can never fire
+// because an earlier rule swallows their traffic, forgotten "temporary"
+// rules later subsumed by broader permanent ones, and overly permissive
+// any-any catch-alls. The formal-testing literature frames detection as a
+// geometry problem: each rule matches a region of the five-dimensional
+// packet space (protocol, src addr, dst addr, src port, dst port), and the
+// error classes are containment/overlap relations between regions under
+// first-match ordering.
+//
+// The analyzer works over exactly the five-field interval geometry the
+// CompiledClassifier builds at policy push: every rule expands into one
+// directed box (plus the reversed box when bidirectional), and pairwise
+// relations are decided with closed-interval containment/intersection per
+// field. Analysis is over the cleartext tuple space — a VPG rule is placed
+// by its selectors (the outbound, pre-encapsulation direction); the id-keyed
+// match of already-encapsulated frames is O(1) and has no ordering hazards.
+//
+// Finding classes (first-match semantics; i < j are rule indices):
+//  * kShadowed   — region(j) ⊆ region(i), different verdict: j is dead and
+//                  its traffic gets the OPPOSITE treatment of what the rule
+//                  says (the classic error Wool reports most often).
+//  * kRedundant  — region(j) ⊆ region(i), same verdict: j is dead weight
+//                  (costs traversal time on the NIC, changes nothing).
+//  * kObsolete   — region(j) ⊆ region(k) for a LATER k with the same
+//                  verdict and no rule between them both intersecting j and
+//                  disagreeing with it: removing j changes no verdict. This
+//                  is the signature a stale "temporary" rule leaves behind
+//                  once the broader permanent rule lands below it.
+//  * kConflict   — regions of i and j properly cross (intersect, neither
+//                  contains the other) with different verdicts: the overlap
+//                  region's fate depends silently on rule order. Reported
+//                  as a warning — specific-exception-before-general-rule is
+//                  also how intentional policies are written.
+//  * kAnyAny     — an allow rule matching every packet (the overly
+//                  permissive catch-all).
+//
+// The analysis is pairwise and therefore conservative: a rule covered only
+// by the UNION of several earlier rules is not flagged (neither here nor by
+// the generator's clean-by-construction filter, so the two sides agree on
+// what "clean" means). All relations are sound: every error-class finding
+// identifies a rule whose removal or reordering provably cannot change any
+// cleartext verdict for the worse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "firewall/rule_set.h"
+
+namespace barb::firewall::policygen {
+
+// Closed intervals over the five match fields of one directed rule entry.
+// Field order matches the CompiledClassifier: proto, src, dst, sport, dport.
+struct RuleBox {
+  std::uint32_t lo[5] = {0, 0, 0, 0, 0};
+  std::uint32_t hi[5] = {0, 0, 0, 0, 0};
+
+  bool covers(const RuleBox& other) const {
+    for (int f = 0; f < 5; ++f) {
+      if (lo[f] > other.lo[f] || hi[f] < other.hi[f]) return false;
+    }
+    return true;
+  }
+  bool intersects(const RuleBox& other) const {
+    for (int f = 0; f < 5; ++f) {
+      if (lo[f] > other.hi[f] || hi[f] < other.lo[f]) return false;
+    }
+    return true;
+  }
+};
+
+enum class FindingKind : std::uint8_t {
+  kShadowed,
+  kRedundant,
+  kObsolete,
+  kConflict,
+  kAnyAny,
+};
+
+const char* to_string(FindingKind kind);
+
+// Conflicts are warnings (rule order may well be intentional); everything
+// else marks a rule that is provably dead or provably over-broad.
+inline bool is_error(FindingKind kind) { return kind != FindingKind::kConflict; }
+
+struct Finding {
+  FindingKind kind = FindingKind::kShadowed;
+  int rule_index = -1;   // the flagged rule
+  int other_index = -1;  // covering / conflicting partner (-1 for kAnyAny)
+
+  std::string to_string() const;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  std::size_t rules = 0;
+  std::size_t entries = 0;         // directed boxes after expansion
+  std::size_t pairs_examined = 0;  // ordered rule pairs compared
+  // Exact per-kind totals. The findings list is capped per rule (see
+  // kMaxCoverFindingsPerRule) so pathological rule-sets — hundreds of
+  // identical wildcards — stay reportable; the counters are never capped.
+  std::uint64_t total[5] = {0, 0, 0, 0, 0};
+  std::uint64_t truncated = 0;  // relations counted but not stored
+
+  std::uint64_t count(FindingKind kind) const {
+    return total[static_cast<int>(kind)];
+  }
+  std::uint64_t error_count() const {
+    return count(FindingKind::kShadowed) + count(FindingKind::kRedundant) +
+           count(FindingKind::kObsolete) + count(FindingKind::kAnyAny);
+  }
+  std::uint64_t warning_count() const { return count(FindingKind::kConflict); }
+
+  // True if a finding of `kind` names `rule_index` (and `other_index`, when
+  // >= 0 — pass -1 to accept any partner).
+  bool has(FindingKind kind, int rule_index, int other_index = -1) const;
+
+  std::string to_string() const;
+};
+
+class RuleSetAnalyzer {
+ public:
+  // Per-rule cap on stored coverage/conflict findings; exact totals live in
+  // AnalysisReport::total regardless.
+  static constexpr int kMaxCoverFindingsPerRule = 32;
+  static constexpr int kMaxConflictFindingsPerRule = 32;
+
+  static AnalysisReport analyze(const RuleSet& rules);
+
+  // --- Geometry, shared with PolicyCorpusGenerator ------------------------
+  // Directed boxes of one rule (forward, plus reversed when bidirectional).
+  static void boxes_of(const Rule& rule, RuleBox out[2], int* count);
+  // region(b) ⊆ region(a): every directed box of b inside some box of a.
+  static bool rule_covers(const Rule& a, const Rule& b);
+  static bool rules_intersect(const Rule& a, const Rule& b);
+  static bool matches_everything(const Rule& rule);
+  // Verdict equality; VPG rules must also agree on the tunnel id.
+  static bool same_verdict(const Rule& a, const Rule& b);
+};
+
+}  // namespace barb::firewall::policygen

@@ -1,0 +1,191 @@
+#include "firewall/policygen/policy_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "firewall/policy.h"
+
+namespace barb::firewall::policygen {
+namespace {
+
+// Acceptance gate for the corpus tooling (ISSUE 10): the analyzer must
+// detect 100% of generator-injected error instances across >= 50 generated
+// corpora, and report zero error-class findings on clean corpora (false
+// positives counted honestly — the clean-by-construction filter and the
+// analyzer share the same pairwise coverage predicate, so the expected FP
+// count is exactly zero; conflict warnings are legitimate and tracked
+// separately).
+
+TEST(PolicyCorpus, SameSeedSameCorpus) {
+  CorpusSpec spec;
+  spec.rules = 120;
+  spec.shadowed = 2;
+  spec.stale = 1;
+  PolicyCorpusGenerator a(42), b(42), c(43);
+  const auto ca = a.generate(spec);
+  const auto cb = b.generate(spec);
+  EXPECT_EQ(ca.rules.to_string(), cb.rules.to_string());
+  EXPECT_EQ(ca.injected.size(), cb.injected.size());
+  EXPECT_NE(ca.rules.to_string(), c.generate(spec).rules.to_string());
+}
+
+TEST(PolicyCorpus, CleanCorporaHaveZeroErrorFindings) {
+  std::uint64_t false_positives = 0;
+  std::uint64_t conflict_warnings = 0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    PolicyCorpusGenerator gen(seed);
+    CorpusSpec spec;
+    spec.rules = 30 + static_cast<int>(seed) * 14;  // 30..366
+    const auto corpus = gen.generate(spec);
+    ASSERT_EQ(corpus.rules.size(), static_cast<std::size_t>(spec.rules));
+    const auto report = RuleSetAnalyzer::analyze(corpus.rules);
+    false_positives += report.error_count();
+    conflict_warnings += report.warning_count();
+    EXPECT_EQ(report.error_count(), 0u)
+        << "seed " << seed << ": " << report.to_string();
+  }
+  EXPECT_EQ(false_positives, 0u);
+  // Crossing overlaps are part of realistic shape; just record that some
+  // corpora have them without asserting a count.
+  (void)conflict_warnings;
+}
+
+TEST(PolicyCorpus, EveryInjectedErrorDetectedAcross50Corpora) {
+  int total_injected = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    PolicyCorpusGenerator gen(1000 + seed);
+    CorpusSpec spec;
+    spec.shape = seed % 7 == 6 ? CorpusShape::kHeavyVpg : CorpusShape::kRealistic;
+    spec.rules = 25 + static_cast<int>(seed % 10) * 40;  // 25..385
+    spec.shadowed = 1 + static_cast<int>(seed % 3);
+    spec.redundant = static_cast<int>(seed % 3);
+    spec.stale = 1 + static_cast<int>(seed % 2);
+    spec.any_any = static_cast<int>(seed % 2);
+    spec.conflicts = static_cast<int>(seed % 3);
+    const auto corpus = gen.generate(spec);
+    ASSERT_GE(corpus.injected.size(), 2u) << corpus.summary();
+    total_injected += static_cast<int>(corpus.injected.size());
+
+    const auto report = RuleSetAnalyzer::analyze(corpus.rules);
+    const auto outcome = check_detection(corpus, report);
+    EXPECT_TRUE(outcome.all_detected()) << [&] {
+      std::string msg = corpus.summary() + " — missed:";
+      for (const auto& e : outcome.missed) {
+        msg += " " + std::string(to_string(e.kind)) + "@" +
+               std::to_string(e.rule_index);
+      }
+      return msg;
+    }();
+  }
+  EXPECT_GE(total_injected, 150);
+}
+
+TEST(PolicyCorpus, DeepCorpusInjectionDetected) {
+  // One Wool-tail corpus at the depth end the paper's fig2 cares about.
+  PolicyCorpusGenerator gen(7);
+  CorpusSpec spec;
+  spec.shape = CorpusShape::kMaxDepth;
+  spec.rules = 1200;
+  spec.shadowed = 3;
+  spec.redundant = 2;
+  spec.stale = 2;
+  spec.any_any = 1;
+  spec.conflicts = 2;
+  const auto corpus = gen.generate(spec);
+  EXPECT_EQ(corpus.rules.size(), 1200u + 10u + 2u);  // pairs insert two rules
+  const auto report = RuleSetAnalyzer::analyze(corpus.rules);
+  const auto outcome = check_detection(corpus, report);
+  EXPECT_TRUE(outcome.all_detected());
+  EXPECT_EQ(outcome.injected, 10);
+}
+
+TEST(PolicyCorpus, CorporaRoundTripThroughPolicyDsl) {
+  // Policies travel to agents as DSL text (RuleSet::to_string ->
+  // parse_policy); every generated corpus must survive that unchanged.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    PolicyCorpusGenerator gen(300 + seed);
+    CorpusSpec spec;
+    spec.rules = 80;
+    spec.shadowed = 1;
+    spec.redundant = 1;
+    spec.stale = 1;
+    spec.any_any = 1;
+    spec.conflicts = 1;
+    const auto corpus = gen.generate(spec);
+    const std::string text = corpus.rules.to_string();
+    const auto parsed = parse_policy(text);
+    ASSERT_TRUE(parsed.ok())
+        << "seed " << seed << ": " << (parsed.error ? parsed.error->message : "");
+    EXPECT_EQ(parsed.rule_set->size(), corpus.rules.size());
+    EXPECT_EQ(parsed.rule_set->to_string(), text) << "seed " << seed;
+  }
+}
+
+TEST(PolicyCorpus, UniverseTuplesExerciseTheRules) {
+  PolicyCorpusGenerator gen(11);
+  CorpusSpec spec;
+  spec.rules = 200;
+  const auto corpus = gen.generate(spec);
+  int matched = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (corpus.rules.match(gen.random_universe_tuple()).matched_index >= 0) {
+      ++matched;
+    }
+  }
+  // Traffic drawn from the rule universe must actually land in rules — the
+  // point of sharing the address universe. (Synthetic uniform tuples over
+  // the whole 32-bit space would almost never hit.)
+  EXPECT_GT(matched, 200);
+}
+
+TEST(PolicyCorpus, WoolSizeDistributionSpansTensToThousands) {
+  sim::Random rng(99);
+  int lo = 1 << 30, hi = 0;
+  for (int i = 0; i < 400; ++i) {
+    const int n = PolicyCorpusGenerator::draw_rule_count(rng);
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+    ASSERT_GE(n, 10);
+    ASSERT_LE(n, 2500);
+  }
+  EXPECT_LT(lo, 61);    // small-office policies exist
+  EXPECT_GT(hi, 800);   // and so does the long tail
+}
+
+TEST(PolicyCorpus, DirtyShapesGenerateAndAnalyzeWithoutInjection) {
+  PolicyCorpusGenerator gen(5);
+  CorpusSpec spec;
+  spec.shape = CorpusShape::kAllAnyAny;
+  spec.any_any = 3;  // must be ignored: ground truth is ambiguous here
+  const auto pile = gen.generate(spec);
+  EXPECT_TRUE(pile.injected.empty());
+  EXPECT_GE(pile.rules.size(), 40u);
+  const auto pile_report = RuleSetAnalyzer::analyze(pile.rules);
+  // A wildcard pile is saturated with dead rules by construction.
+  EXPECT_GT(pile_report.error_count(), 0u);
+
+  spec.shape = CorpusShape::kAdversarialOverlap;
+  const auto adv = gen.generate(spec);
+  EXPECT_TRUE(adv.injected.empty());
+  const auto adv_report = RuleSetAnalyzer::analyze(adv.rules);
+  EXPECT_EQ(adv_report.rules, adv.rules.size());
+}
+
+TEST(PolicyCorpus, HeavyVpgShapeIsVpgDominated) {
+  PolicyCorpusGenerator gen(21);
+  CorpusSpec spec;
+  spec.shape = CorpusShape::kHeavyVpg;
+  spec.rules = 150;
+  const auto corpus = gen.generate(spec);
+  int vpg = 0;
+  for (const Rule& r : corpus.rules.rules()) {
+    if (r.action == RuleAction::kVpg) ++vpg;
+  }
+  EXPECT_GT(vpg, 60);
+  // VPG rules must survive the DSL round trip (no protocol/oneway tokens).
+  const auto parsed = parse_policy(corpus.rules.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.rule_set->to_string(), corpus.rules.to_string());
+}
+
+}  // namespace
+}  // namespace barb::firewall::policygen

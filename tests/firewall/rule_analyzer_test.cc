@@ -1,0 +1,197 @@
+#include "firewall/policygen/rule_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "firewall/policy.h"
+
+namespace barb::firewall::policygen {
+namespace {
+
+// Hand-built rule-sets with known findings, written in the policy DSL so the
+// cases double as documentation of what each error class looks like.
+RuleSet parse(const char* text) {
+  auto parsed = parse_policy(text);
+  EXPECT_TRUE(parsed.ok()) << (parsed.error ? parsed.error->message : "");
+  return parsed.ok() ? std::move(*parsed.rule_set) : RuleSet{};
+}
+
+TEST(RuleAnalyzer, EmptyAndDisjointRuleSetsAreClean) {
+  EXPECT_EQ(RuleSetAnalyzer::analyze(RuleSet{}).findings.size(), 0u);
+
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"
+      "allow tcp from 10.2.0.0/16 to 10.0.0.6 port 443\n"
+      "deny udp from any to 192.168.1.0/24 port 445\n"));
+  EXPECT_EQ(report.findings.size(), 0u);
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.rules, 3u);
+  // Two bidirectional entries per rule.
+  EXPECT_EQ(report.entries, 6u);
+}
+
+TEST(RuleAnalyzer, ShadowedRuleDetected) {
+  // Rule 1 can never fire: rule 0 already denies the whole region, with the
+  // opposite action — the classic misconfiguration.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "deny tcp from any to 10.0.0.0/24 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"));
+  EXPECT_TRUE(report.has(FindingKind::kShadowed, 1, 0));
+  EXPECT_EQ(report.count(FindingKind::kShadowed), 1u);
+  EXPECT_EQ(report.count(FindingKind::kRedundant), 0u);
+  EXPECT_EQ(report.count(FindingKind::kConflict), 0u);
+}
+
+TEST(RuleAnalyzer, RedundantRuleDetected) {
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "allow tcp from any to 10.0.0.0/24 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"));
+  EXPECT_TRUE(report.has(FindingKind::kRedundant, 1, 0));
+  EXPECT_EQ(report.count(FindingKind::kShadowed), 0u);
+}
+
+TEST(RuleAnalyzer, ObsoleteTemporaryRuleDetected) {
+  // Rule 0 was a "temporary" opening, later subsumed by the broader rule 1:
+  // removing rule 0 changes no verdict.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "allow tcp from 10.1.2.0/24 to 10.0.0.5 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"));
+  EXPECT_TRUE(report.has(FindingKind::kObsolete, 0, 1));
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+TEST(RuleAnalyzer, InterveningDenyBlocksObsolete) {
+  // Same shape, but a deny intersecting rule 0 sits between it and the
+  // broad allow: rule 0 is load-bearing (it wins before the deny does), so
+  // it must NOT be flagged. The equal-region deny IS shadowed by rule 0.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "allow tcp from 10.1.2.0/24 to 10.0.0.5 port 80\n"
+      "deny tcp from 10.1.2.0/24 to 10.0.0.5 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"));
+  EXPECT_FALSE(report.has(FindingKind::kObsolete, 0));
+  EXPECT_TRUE(report.has(FindingKind::kShadowed, 1, 0));
+}
+
+TEST(RuleAnalyzer, CrossingRulesReportConflictWarningOnly) {
+  // Narrower source vs narrower destination port: neither covers the other,
+  // the overlap's fate depends on order. A warning, not an error.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "deny tcp from 10.1.3.0/24 to 10.2.0.0/16 oneway\n"
+      "allow tcp from 10.1.0.0/16 to 10.2.0.0/16 port 80-443 oneway\n"));
+  EXPECT_TRUE(report.has(FindingKind::kConflict, 1, 0));
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(RuleAnalyzer, SpecificExceptionBeforeGeneralRuleIsNotAConflict) {
+  // The standard intentional idiom: a narrow deny placed ABOVE the broad
+  // allow that covers it. Later-covers-earlier with different actions is
+  // how exceptions are written — no finding at all.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "deny tcp from 10.1.2.3 to 10.0.0.5 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"));
+  EXPECT_EQ(report.findings.size(), 0u);
+}
+
+TEST(RuleAnalyzer, AnyAnyAllowFlaggedDenyIsNot) {
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "deny any from any to any\n"
+      "allow any from any to any\n"));
+  EXPECT_TRUE(report.has(FindingKind::kAnyAny, 1));
+  EXPECT_FALSE(report.has(FindingKind::kAnyAny, 0));
+  // The allow is also shadowed by the deny above it.
+  EXPECT_TRUE(report.has(FindingKind::kShadowed, 1, 0));
+}
+
+TEST(RuleAnalyzer, VpgVerdictRequiresSameId) {
+  // Same-id VPG covered by same-id VPG: redundant. Different id: shadowed
+  // (the traffic lands in the wrong tunnel).
+  const auto redundant = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "vpg 7 between 10.1.0.0/16 and 10.0.0.5\n"
+      "vpg 7 between 10.1.2.0/24 and 10.0.0.5\n"));
+  EXPECT_TRUE(redundant.has(FindingKind::kRedundant, 1, 0));
+
+  const auto shadowed = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "vpg 7 between 10.1.0.0/16 and 10.0.0.5\n"
+      "vpg 9 between 10.1.2.0/24 and 10.0.0.5\n"));
+  EXPECT_TRUE(shadowed.has(FindingKind::kShadowed, 1, 0));
+}
+
+TEST(RuleAnalyzer, ReverseDirectionOfBidirectionalRuleCovers) {
+  // Rule 1 is written in the opposite direction of rule 0, but rule 0 is
+  // bidirectional: its reversed entry covers rule 1's one-way region.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.0/24\n"
+      "allow tcp from 10.0.0.5 to 10.1.2.3 oneway\n"));
+  EXPECT_TRUE(report.has(FindingKind::kRedundant, 1, 0));
+}
+
+TEST(RuleAnalyzer, OnewayDoesNotCoverBidirectional) {
+  // The narrower bidirectional rule needs BOTH directions covered; the
+  // earlier one-way rule only provides one. Not dead — but the reverse
+  // entries do cross, which surfaces as a conflict warning.
+  const auto report = RuleSetAnalyzer::analyze(parse(
+      "default deny\n"
+      "deny tcp from 10.1.0.0/16 to 10.0.0.0/24 oneway\n"
+      "allow tcp from 10.1.2.0/24 to 10.0.0.5 port 80\n"));
+  EXPECT_FALSE(report.has(FindingKind::kShadowed, 1));
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(RuleAnalyzer, GeometryHelpers) {
+  const RuleSet rs = parse(
+      "default deny\n"
+      "allow tcp from any to 10.0.0.0/24 port 80\n"
+      "allow tcp from 10.1.0.0/16 to 10.0.0.5 port 80\n"
+      "allow any from any to any\n");
+  const auto& rules = rs.rules();
+  EXPECT_TRUE(RuleSetAnalyzer::rule_covers(rules[0], rules[1]));
+  EXPECT_FALSE(RuleSetAnalyzer::rule_covers(rules[1], rules[0]));
+  EXPECT_TRUE(RuleSetAnalyzer::rules_intersect(rules[0], rules[1]));
+  EXPECT_TRUE(RuleSetAnalyzer::matches_everything(rules[2]));
+  EXPECT_FALSE(RuleSetAnalyzer::matches_everything(rules[0]));
+  EXPECT_TRUE(RuleSetAnalyzer::rule_covers(rules[2], rules[0]));
+
+  RuleBox boxes[2];
+  int count = 0;
+  RuleSetAnalyzer::boxes_of(rules[1], boxes, &count);
+  ASSERT_EQ(count, 2);  // bidirectional
+  EXPECT_EQ(boxes[0].lo[0], 6u);  // tcp
+  EXPECT_EQ(boxes[0].hi[0], 6u);
+  EXPECT_EQ(boxes[0].lo[4], 80u);  // forward dst port
+  EXPECT_EQ(boxes[1].lo[3], 80u);  // reversed: src port
+}
+
+TEST(RuleAnalyzer, WildcardPileCapsStoredFindingsButCountsAll) {
+  // 48 identical allow rules: rule j is redundant against every i < j —
+  // 48*47/2 relations. Exact totals survive; the stored list is capped per
+  // rule so pathological sets cannot blow up the report.
+  RuleSet rs;
+  for (int i = 0; i < 48; ++i) {
+    Rule r;
+    r.action = RuleAction::kAllow;
+    r.protocol = 6;
+    r.dst_net = net::Ipv4Address(10, 0, 0, 0);
+    r.dst_prefix = 24;
+    rs.add(r);
+  }
+  const auto report = RuleSetAnalyzer::analyze(rs);
+  EXPECT_EQ(report.count(FindingKind::kRedundant), 48u * 47u / 2u);
+  EXPECT_GT(report.truncated, 0u);
+  EXPECT_LT(report.findings.size(), 48u * 47u / 2u);
+  // The capped list still pins every rule's first coverer.
+  EXPECT_TRUE(report.has(FindingKind::kRedundant, 47, 0));
+}
+
+}  // namespace
+}  // namespace barb::firewall::policygen

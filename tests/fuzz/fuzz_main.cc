@@ -3,6 +3,8 @@
 //   fuzz_main --seed 42            run one seed
 //   fuzz_main --seeds 100          run seeds base..base+99 (default base 1)
 //   fuzz_main --base 1000          first seed for --seeds
+//   fuzz_main --seed-file s.txt    run the seeds listed in a regression file
+//   fuzz_main --family policy      restrict to one family (all|legacy|policy)
 //   fuzz_main --jobs 4             distribute seeds over worker threads
 //   fuzz_main --replay case.json   re-run the seed from a failure's scenario file
 //   fuzz_main --verbose            print each case's scenario summary
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
   std::uint64_t count = 0;
   bool have_single = false;
   std::uint64_t single_seed = 0;
+  std::vector<std::uint64_t> seed_list;
   int jobs = 1;
   FuzzOptions options;
 
@@ -79,6 +82,18 @@ int main(int argc, char** argv) {
       count = std::strtoull(next(), nullptr, 0);
     } else if (arg == "--base") {
       base = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--seed-file") {
+      const char* path = next();
+      if (!barb::fuzz::seeds_from_file(path, &seed_list)) {
+        std::fprintf(stderr, "could not read seeds from %s\n", path);
+        return 2;
+      }
+    } else if (arg == "--family") {
+      const char* name = next();
+      if (!barb::fuzz::family_from_name(name, &options.family)) {
+        std::fprintf(stderr, "unknown family: %s (all|legacy|policy)\n", name);
+        return 2;
+      }
     } else if (arg == "--jobs") {
       jobs = std::atoi(next());
     } else if (arg == "--replay") {
@@ -93,7 +108,8 @@ int main(int argc, char** argv) {
       options.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: fuzz_main [--seed N | --seeds N [--base N]] [--jobs N]\n"
+          "usage: fuzz_main [--seed N | --seeds N [--base N] | --seed-file F]\n"
+          "                 [--family all|legacy|policy] [--jobs N]\n"
           "                 [--replay scenario.json] [--verbose]\n");
       return 0;
     } else {
@@ -113,16 +129,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (count == 0) count = 20;
-  std::printf("fuzzing %" PRIu64 " seeds starting at %" PRIu64 " (jobs=%d)\n", count,
-              base, jobs);
+  if (seed_list.empty()) {
+    if (count == 0) count = 20;
+    for (std::uint64_t i = 0; i < count; ++i) seed_list.push_back(base + i);
+    std::printf("fuzzing %" PRIu64 " seeds starting at %" PRIu64 " (jobs=%d)\n",
+                count, base, jobs);
+  } else {
+    count = seed_list.size();
+    std::printf("fuzzing %" PRIu64 " listed seeds (jobs=%d)\n", count, jobs);
+  }
 
   // Each seed is a shared-nothing simulation, so seeds parallelize with the
   // same slot-per-point scheme the sweep runner uses for experiments.
   barb::core::SweepRunner runner(barb::core::SweepRunner::Options{jobs, base});
   const auto outcomes = runner.run_indexed<FuzzOutcome>(
-      static_cast<std::size_t>(count), [&](const barb::core::SweepPoint& point) {
-        return barb::fuzz::run_seed(base + point.index, options);
+      seed_list.size(), [&](const barb::core::SweepPoint& point) {
+        return barb::fuzz::run_seed(seed_list[point.index], options);
       });
 
   std::uint64_t passed = 0;

@@ -14,6 +14,8 @@
 #include "core/topology.h"
 #include "firewall/classifier/compiled_classifier.h"
 #include "firewall/classifier/flow_cache.h"
+#include "firewall/policy.h"
+#include "firewall/policygen/policy_corpus.h"
 #include "firewall/rule_set.h"
 #include "link/fault_injector.h"
 #include "link/link.h"
@@ -39,6 +41,7 @@ constexpr std::uint64_t kDifferentialSalt = 0xd1ffd1ffd1ffd1ffULL;
 constexpr std::uint64_t kSchedulerSalt = 0x5c4edc0de5c4edc0ULL;
 constexpr std::uint64_t kStarFaultSalt = 0xfa7e57a2fa7e57a2ULL;
 constexpr std::uint64_t kFabricSalt = 0xfab21c05fab21c05ULL;
+constexpr std::uint64_t kPolicySalt = 0x9011c7c09011c7c0ULL;
 
 struct Failures {
   std::vector<std::string>* out;
@@ -304,6 +307,180 @@ std::uint64_t run_differential_oracle(std::uint64_t seed, Failures fail) {
         return checks;
       }
     }
+  }
+  return checks;
+}
+
+// ---------------------------------------------------------------------------
+// Policy-corpus family: realistic rule-set shape as a fuzzed dimension
+// ---------------------------------------------------------------------------
+
+// One seed generates 1-2 corpora from the shape lattice (Wool-realistic,
+// max-depth, heavy-VPG, plus the dirty wildcard-pile and adversarial-overlap
+// stress shapes) and checks three oracle layers on each:
+//
+//  * ground truth — the analyzer must detect every generator-injected error
+//    instance at its recorded indices, and a corpus generated clean must
+//    produce zero error-class findings (any is a false positive);
+//  * DSL round trip — the corpus must survive to_string -> parse_policy ->
+//    to_string byte-identically (policies travel to agents as DSL text);
+//  * three-way differential — naive reference vs RuleSet::match vs the
+//    compiled classifier on tuples drawn from the rules' own address
+//    universe (plus perturbed near-misses), with a flow cache shared across
+//    the corpora so generation invalidation is exercised under realistic
+//    shape too.
+//
+// Drawn from its own salted stream: legacy scenarios stay stable per seed.
+
+struct PolicyCase {
+  firewall::policygen::CorpusSpec spec;
+  bool clean = false;  // generated with zero injections (FP oracle applies)
+};
+
+PolicyCase generate_policy_case(sim::Random& rng) {
+  using firewall::policygen::CorpusShape;
+  PolicyCase c;
+  const auto shape = rng.uniform(100);
+  if (shape < 55) {
+    c.spec.shape = CorpusShape::kRealistic;
+    c.spec.rules = static_cast<int>(20 + rng.uniform(280));
+  } else if (shape < 70) {
+    c.spec.shape = CorpusShape::kHeavyVpg;
+    c.spec.rules = static_cast<int>(40 + rng.uniform(160));
+  } else if (shape < 80) {
+    c.spec.shape = CorpusShape::kMaxDepth;
+    // Deep but fuzz-sized; the full 2.5k tail belongs to the bench.
+    c.spec.rules = static_cast<int>(700 + rng.uniform(500));
+  } else if (shape < 90) {
+    c.spec.shape = CorpusShape::kAllAnyAny;
+  } else {
+    c.spec.shape = CorpusShape::kAdversarialOverlap;
+  }
+  const bool clean_capable = shape < 80;  // dirty shapes ignore injection
+  c.clean = clean_capable && rng.bernoulli(0.25);
+  if (clean_capable && !c.clean) {
+    c.spec.shadowed = static_cast<int>(rng.uniform(3));
+    c.spec.redundant = static_cast<int>(rng.uniform(3));
+    c.spec.stale = static_cast<int>(rng.uniform(2));
+    c.spec.any_any = static_cast<int>(rng.uniform(2));
+    c.spec.conflicts = static_cast<int>(rng.uniform(2));
+  }
+  return c;
+}
+
+std::uint64_t run_policy_oracle(std::uint64_t seed, Failures fail,
+                                std::string* summary) {
+  namespace pg = firewall::policygen;
+  sim::Random rng(core::derive_point_seed(seed ^ kPolicySalt, 0));
+  pg::PolicyCorpusGenerator gen(core::derive_point_seed(seed ^ kPolicySalt, 1));
+  std::uint64_t checks = 0;
+
+  // The cache outlives both corpora, as on a device across policy pushes.
+  firewall::FlowCache cache(firewall::FlowCacheConfig{512, 8});
+  firewall::CompiledClassifier compiled;
+
+  const int rounds = rng.bernoulli(0.5) ? 2 : 1;
+  for (int round = 0; round < rounds; ++round) {
+    const PolicyCase pc = generate_policy_case(rng);
+    const pg::GeneratedCorpus corpus = gen.generate(pc.spec);
+    const std::string what = corpus.summary();
+    if (round == 0) *summary += " | policy " + what;
+
+    // Ground truth: every injected instance detected, no FP on clean shapes.
+    const pg::AnalysisReport report = pg::RuleSetAnalyzer::analyze(corpus.rules);
+    const pg::DetectionOutcome outcome = pg::check_detection(corpus, report);
+    checks += corpus.injected.size() + 1;
+    if (!outcome.all_detected()) {
+      std::string msg = "policy-analyzer: missed " +
+                        std::to_string(outcome.injected - outcome.detected) +
+                        " of " + std::to_string(outcome.injected) +
+                        " injected errors on " + what + ":";
+      for (const auto& e : outcome.missed) {
+        msg += " " + std::string(pg::to_string(e.kind)) + "@" +
+               std::to_string(e.rule_index);
+      }
+      fail(std::move(msg));
+    }
+    if (pc.clean && corpus.injected.empty() && report.error_count() != 0) {
+      fail("policy-analyzer: " + std::to_string(report.error_count()) +
+           " false-positive error findings on clean " + what + "\n" +
+           report.to_string());
+    }
+
+    // DSL round trip.
+    const std::string text = corpus.rules.to_string();
+    const auto parsed = firewall::parse_policy(text);
+    ++checks;
+    if (!parsed.ok()) {
+      fail("policy-dsl: generated corpus failed to parse (" +
+           (parsed.error ? parsed.error->message : std::string("?")) + ") on " +
+           what);
+    } else if (parsed.rule_set->to_string() != text) {
+      fail("policy-dsl: corpus changed across to_string -> parse -> to_string "
+           "on " + what);
+    }
+
+    // Three-way differential over universe traffic + perturbed near-misses.
+    compiled.rebuild(corpus.rules);
+    cache.bump_generation();
+    for (int i = 0; i < 2000; ++i) {
+      net::FiveTuple t = gen.random_universe_tuple();
+      if (rng.bernoulli(0.25)) {
+        switch (rng.uniform(3)) {
+          case 0:
+            t.dst_port = static_cast<std::uint16_t>(1 + rng.uniform(65535));
+            break;
+          case 1: {
+            const std::uint8_t protos[] = {1, 6, 17};
+            t.protocol = protos[rng.uniform(3)];
+            if (t.protocol == 1) t.src_port = t.dst_port = 0;
+            break;
+          }
+          default:
+            std::swap(t.src, t.dst);
+            std::swap(t.src_port, t.dst_port);
+            break;
+        }
+      }
+      int ref_index = -1;
+      const auto ref = ref_match_tuple(corpus.rules, t, &ref_index);
+      const auto got = corpus.rules.match(t);
+      ++checks;
+      if (got.action != ref || got.matched_index != ref_index) {
+        fail("policy-differential: RuleSet::match says action=" +
+             std::string(firewall::to_string(got.action)) + " index=" +
+             std::to_string(got.matched_index) + ", reference says action=" +
+             std::string(firewall::to_string(ref)) + " index=" +
+             std::to_string(ref_index) + " for " + t.to_string() + " on " +
+             what);
+        return checks;
+      }
+      const auto cm = compiled.match(t);
+      if (!same_match(cm.result, got)) {
+        fail("policy-differential: compiled says " + describe_match(cm.result) +
+             ", linear says " + describe_match(got) + " for " + t.to_string() +
+             " on " + what);
+        return checks;
+      }
+      firewall::MatchResult cached;
+      if (cache.lookup(t, &cached)) {
+        if (!same_match(cached, got)) {
+          fail("policy-differential: flow cache says " + describe_match(cached) +
+               ", linear says " + describe_match(got) + " for " + t.to_string() +
+               " on " + what);
+          return checks;
+        }
+      } else {
+        cache.insert(t, cm.result);
+      }
+    }
+  }
+
+  const auto& st = cache.stats();
+  if (st.lookups != st.hits + st.misses) {
+    fail("policy-flow-cache: lookups=" + std::to_string(st.lookups) +
+         " != hits=" + std::to_string(st.hits) + " + misses=" +
+         std::to_string(st.misses));
   }
   return checks;
 }
@@ -1151,26 +1328,97 @@ FuzzOutcome run_seed(std::uint64_t seed, const FuzzOptions& options) {
     // tail) without a real invariant violation.
     fail("forced failure (BARB_FUZZ_FORCE_FAIL is set)");
   }
-  out.differential_checks = run_differential_oracle(seed, fail);
-  run_scheduler_oracle(seed, fail);
+  const bool legacy = options.family != FuzzFamily::kPolicy;
+  const bool policy = options.family != FuzzFamily::kLegacy;
 
-  const Scenario scenario = generate_scenario(seed);
-  out.scenario_json = scenario_to_json(scenario);
-  out.summary = scenario_summary(scenario);
-  if (scenario.star) {
-    run_star_scenario(scenario, &out.failures, &out.trace_tail, options);
-  } else {
-    run_testbed_scenario(scenario, &out.failures, &out.trace_tail, options);
+  if (legacy) {
+    out.differential_checks = run_differential_oracle(seed, fail);
+    run_scheduler_oracle(seed, fail);
+
+    const Scenario scenario = generate_scenario(seed);
+    out.scenario_json = scenario_to_json(scenario);
+    out.summary = scenario_summary(scenario);
+    if (scenario.star) {
+      run_star_scenario(scenario, &out.failures, &out.trace_tail, options);
+    } else {
+      run_testbed_scenario(scenario, &out.failures, &out.trace_tail, options);
+    }
+
+    // Every seed additionally exercises a multi-switch fabric (its own salted
+    // stream, so the legacy scenario above is untouched).
+    const FabricScenario fabric = generate_fabric_scenario(seed);
+    out.summary += fabric_summary(fabric);
+    run_fabric_scenario(fabric, seed, &out.failures, &out.trace_tail, options);
   }
 
-  // Every seed additionally exercises a multi-switch fabric (its own salted
-  // stream, so the legacy scenario above is untouched).
-  const FabricScenario fabric = generate_fabric_scenario(seed);
-  out.summary += fabric_summary(fabric);
-  run_fabric_scenario(fabric, seed, &out.failures, &out.trace_tail, options);
+  if (policy) {
+    out.differential_checks += run_policy_oracle(seed, fail, &out.summary);
+  }
+  if (out.scenario_json.empty()) {
+    // Policy-only runs still need a replayable scenario file: everything is
+    // seed-derived, so the seed is the whole scenario.
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("seed").value(static_cast<std::uint64_t>(seed));
+    w.key("family").value("policy");
+    w.end_object();
+    out.scenario_json = w.str();
+  }
 
   out.ok = out.failures.empty();
   return out;
+}
+
+bool family_from_name(const std::string& name, FuzzFamily* out) {
+  if (name == "all") {
+    *out = FuzzFamily::kAll;
+  } else if (name == "legacy") {
+    *out = FuzzFamily::kLegacy;
+  } else if (name == "policy") {
+    *out = FuzzFamily::kPolicy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool seeds_from_file(const std::string& path, std::vector<std::uint64_t>* seeds) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t eol = text.find('\n', i);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(i, eol - i);
+    i = eol + 1;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::size_t p = 0;
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t' || line[p] == '\r')) {
+      ++p;
+    }
+    if (p >= line.size()) continue;
+    std::uint64_t value = 0;
+    bool any = false;
+    while (p < line.size() && line[p] >= '0' && line[p] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(line[p] - '0');
+      any = true;
+      ++p;
+    }
+    while (p < line.size() && (line[p] == ' ' || line[p] == '\t' || line[p] == '\r')) {
+      ++p;
+    }
+    if (!any || p != line.size()) return false;  // junk on a seed line
+    seeds->push_back(value);
+  }
+  return !seeds->empty();
 }
 
 bool seed_from_scenario_file(const std::string& path, std::uint64_t* seed) {

@@ -34,11 +34,22 @@
 
 namespace barb::fuzz {
 
+// Which generator families a seed exercises. kLegacy is the original set
+// (differential matcher, scheduler, testbed/star scenario, fabric); kPolicy
+// is the realistic-policy-corpus family (generator -> analyzer ground truth
+// -> three-way match oracle). kAll runs both; each family draws from its own
+// salted stream, so enabling one never perturbs the other's scenarios.
+enum class FuzzFamily { kAll, kLegacy, kPolicy };
+
+// Parses "all" / "legacy" / "policy"; returns false on anything else.
+bool family_from_name(const std::string& name, FuzzFamily* out);
+
 struct FuzzOptions {
   // Frames kept per tap for the failure dump (the last N seen).
   std::size_t trace_tail = 16;
   // Extra per-case detail on stdout.
   bool verbose = false;
+  FuzzFamily family = FuzzFamily::kAll;
 };
 
 struct FuzzOutcome {
@@ -63,5 +74,10 @@ FuzzOutcome run_seed(std::uint64_t seed, const FuzzOptions& options = {});
 // Extracts the "seed" field from a scenario JSON written by a failing run.
 // Scenarios are fully seed-derived, so the seed alone replays the case.
 bool seed_from_scenario_file(const std::string& path, std::uint64_t* seed);
+
+// Reads a regression seed list: one decimal seed per line, blank lines and
+// '#' comments (full-line or trailing) ignored. Returns false if the file
+// cannot be read or contains no seeds.
+bool seeds_from_file(const std::string& path, std::vector<std::uint64_t>* seeds);
 
 }  // namespace barb::fuzz
